@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+PY ?= python
+
+.PHONY: install test test-all bench bench-full repro examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+test-all:
+	RUN_SLOW=1 $(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 $(PY) -m pytest benchmarks/ --benchmark-only
+
+repro:
+	$(PY) examples/reproduce_paper.py
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PY) $$ex > /dev/null || exit 1; done; echo all examples OK
+
+clean:
+	rm -rf results .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

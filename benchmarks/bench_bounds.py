@@ -1,0 +1,59 @@
+"""E14: theoretical ceilings vs the exhaustive search's findings.
+
+The abstract's "the theoretical maximum is detection of five
+independent bit errors (HD=6)" is the sphere-packing bound; this
+bench regenerates the comparison between that ceiling and what the
+paper's exhaustive search proved achievable -- including the one row
+where they coincide (HD=3: primitive polynomials are shortened
+Hamming codes, perfect at their natural length).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+from repro.hd.bounds import (
+    bound_vs_achieved,
+    hamming_bound_ok,
+    max_length_for_theoretical_hd,
+    max_theoretical_hd,
+)
+
+
+def test_mtu_ceiling(benchmark, record):
+    d = once(benchmark, max_theoretical_hd, 32, 12112)
+    record("bounds", {"mtu_theoretical_max_hd": d})
+    assert d == 6
+    assert not hamming_bound_ok(32, 12112, 7)
+
+
+def test_bound_vs_search(benchmark, record):
+    rows = once(benchmark, bound_vs_achieved)
+    record("bounds", {"bound_vs_achieved": {
+        str(hd): {"sphere_packing_limit": bound, "search_limit": found}
+        for hd, bound, found in rows
+    }})
+    by_hd = {hd: (bound, found) for hd, bound, found in rows}
+    # the search's global limits sit strictly below the packing bound
+    # for HD 5 and 6 (cyclic structure costs something)...
+    assert by_hd[6][0] > by_hd[6][1]
+    assert by_hd[5][0] > by_hd[5][1]
+    # ...and exactly meets it for HD=3 (shortened Hamming perfection)
+    assert by_hd[3][0] == by_hd[3][1] == 2**32 - 33
+
+
+def test_ceiling_curve(benchmark, record):
+    """Theoretical max HD across Figure 1's length grid -- the
+    envelope every Table 1 column must stay under."""
+
+    def curve():
+        return {
+            n: max_theoretical_hd(32, n)
+            for n in (64, 128, 256, 512, 1024, 4096, 12112, 32768, 131072)
+        }
+
+    c = once(benchmark, curve)
+    record("bounds", {"ceiling_by_length": {str(k): v for k, v in c.items()}})
+    assert c[12112] == 6
+    assert c[131072] >= 4
+    values = [c[n] for n in sorted(c)]
+    assert values == sorted(values, reverse=True)

@@ -1,0 +1,64 @@
+"""E12: CRC engine throughput (substrate performance).
+
+The paper's polynomials only matter if CRCs stay cheap to compute at
+line rate; this measures the three software engines on an MTU-sized
+payload and the per-byte cost ordering (bit-serial << table <<
+slice-by-4 is the expected *throughput* ordering).  These are true
+microbenchmarks (multiple rounds), unlike the reproduction
+measurements elsewhere in the harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crc.catalog import get_spec
+from repro.crc.engine import crc_bitwise, crc_slice4, crc_table
+
+SPEC = get_spec("CRC-32/IEEE-802.3")
+PAYLOAD = bytes(range(256)) * 6  # 1536 bytes ~ one MTU frame
+
+
+@pytest.fixture(scope="module")
+def expected():
+    return crc_bitwise(SPEC, PAYLOAD)
+
+
+def test_bitwise_engine(benchmark, expected):
+    result = benchmark(crc_bitwise, SPEC, PAYLOAD)
+    assert result == expected
+
+
+def test_table_engine(benchmark, expected):
+    # warm the table cache outside the timed region
+    crc_table(SPEC, b"warm")
+    result = benchmark(crc_table, SPEC, PAYLOAD)
+    assert result == expected
+
+
+def test_slice4_engine(benchmark, expected):
+    crc_slice4(SPEC, b"warm")
+    result = benchmark(crc_slice4, SPEC, PAYLOAD)
+    assert result == expected
+
+
+def test_sparse_poly_register_cost(benchmark, record):
+    """The hardware argument for 0x90022004/0x80108400: fewer feedback
+    taps.  Software analogue measured here: tap count drives the
+    bit-serial engine's XOR work; recorded alongside gate counts."""
+    from repro.crc.engine import BitSerialRegister
+    from repro.crc.spec import CRCSpec
+    from repro.gf2.notation import koopman_to_full
+
+    def gate_counts():
+        out = {}
+        for key, koop in [("802.3", 0x82608EDB), ("90022004", 0x90022004),
+                          ("80108400", 0x80108400), ("BA0DC66B", 0xBA0DC66B)]:
+            full = koopman_to_full(koop)
+            spec = CRCSpec(name=key, width=32, poly=full & 0xFFFFFFFF)
+            out[key] = BitSerialRegister(spec).xor_gate_count
+        return out
+
+    counts = benchmark.pedantic(gate_counts, rounds=1, iterations=1)
+    record("crc_engines", {"xor_gate_counts": counts})
+    assert counts["80108400"] < counts["90022004"] < counts["802.3"]
+    assert counts["BA0DC66B"] > counts["90022004"]

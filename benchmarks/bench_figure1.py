@@ -1,0 +1,85 @@
+"""E1: Figure 1 -- error-detection capability curves for the paper's
+eight polynomials.
+
+Regenerates the stepped HD-vs-length curves on the log-2 grid (64 ..
+128K bits in the paper; the default envelope computes the exact curve
+through 4096 bits, which contains every visual feature of Figure 1
+except the far-right tails -- those tails are pinned by bench_table1
+(full mode) and the order-derived HD=2 onsets).  Writes
+``results/figure1.csv`` and an ASCII rendering, and asserts the
+headline orderings the figure exists to show.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.analysis.figures import (
+    figure1_series,
+    log2_grid,
+    render_figure1_ascii,
+    series_to_csv,
+)
+from repro.crc.catalog import PAPER_POLYS
+from repro.hd.breakpoints import hd_breakpoint_table
+from repro.network.frames import figure1_marks
+
+# Tables cover 5000 bits so the "512+40B packet" mark (4496 bits) is
+# inside the envelope; the plotted grid stops at the 4096 tick.
+N_MAX = 5000
+GRID = log2_grid(64, 4096)
+
+
+@pytest.fixture(scope="module")
+def columns():
+    cols = []
+    for key in sorted(PAPER_POLYS):
+        pp = PAPER_POLYS[key]
+        cols.append((key, hd_breakpoint_table(pp.full, hd_max=8, n_max=N_MAX)))
+    return cols
+
+
+def test_figure1_series(benchmark, columns, record, results_dir):
+    series = once(benchmark, figure1_series, columns, GRID)
+    csv = series_to_csv(series)
+    (results_dir / "figure1.csv").write_text(csv)
+    art = render_figure1_ascii(series, hd_min=2, hd_max=8)
+    (results_dir / "figure1.txt").write_text(art)
+    record("figure1", {label: dict(pts) for label, pts in series.items()})
+
+    s = {label: dict(pts) for label, pts in series.items()}
+    # The figure's visual story, as assertions:
+    # (1) at 512 bits, 802.3 is still HD=6 but about to drop; the new
+    #     polynomials hold HD=6.
+    assert s["802.3"][256] == 6 and s["802.3"][512] == 5
+    assert s["BA0DC66B"][512] == 6 and s["FA567D89"][512] == 6
+    # (2) by 4K bits (between the 512+40B packet and MTU marks) the
+    #     candidate split is visible: HD=6 class vs HD<=5.
+    assert s["BA0DC66B"][4096] == 6
+    assert s["8F6E37A0"][4096] == 6  # drops to 4 at 5244, after this grid
+    assert s["802.3"][4096] == 4
+    assert s["D419CC15"][4096] == 5
+    assert s["80108400"][4096] == 5
+
+
+def test_figure1_at_paper_marks(benchmark, columns, record):
+    """HD at the labeled message sizes within the default envelope
+    (40B ack and 512+40B packets)."""
+    marks = {k: v for k, v in figure1_marks().items() if v <= N_MAX}
+
+    def sample():
+        out = {}
+        for label, table in columns:
+            out[label] = {m: table.hd_at(n) for m, n in marks.items()}
+        return out
+
+    sampled = once(benchmark, sample)
+    record("figure1_marks", sampled)
+    # 40-byte acks: every studied polynomial gives HD >= 6; the
+    # high-HD specialists (D419CC15, 802.3) do even better.
+    for label, by_mark in sampled.items():
+        assert by_mark["40B ack packet"] >= 5, label
+    assert sampled["D419CC15"]["40B ack packet"] == 6
+    assert sampled["802.3"]["512+40B packet"] == 4
+    assert sampled["BA0DC66B"]["512+40B packet"] == 6

@@ -1,0 +1,68 @@
+"""E9b: stacked application-level CRC (the §4.4 recommendation,
+quantified) and the hardware minterm comparison (§4.2's sparse-
+polynomial remark).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.crc.parallel import compare_hardware_cost
+from repro.gf2.notation import koopman_to_full
+from repro.network.stacked import same_poly_pitfall, stacked_hd
+
+G_LINK = koopman_to_full(0x82608EDB)
+G_APP = koopman_to_full(0xBA0DC66B)
+
+
+def test_same_poly_adds_nothing(benchmark, record):
+    out = once(benchmark, lambda: [
+        same_poly_pitfall(G_LINK, n) for n in (100, 1000, 4000)
+    ])
+    record("stacked", {"same_poly_pitfall_at_100_1000_4000": out})
+    assert all(out)
+
+
+def test_stacked_hd_at_record_sizes(benchmark, record):
+    def measure():
+        rows = {}
+        for n in (256, 1000):
+            a = stacked_hd(G_LINK, G_APP, n)
+            rows[n] = {
+                "link_hd": a.hd_link,
+                "app_hd": a.hd_app,
+                "joint_hd": a.hd_stacked,
+                "joint_exact": a.stacked_exact,
+                "effective_bits": a.effective_check_bits,
+            }
+        return rows
+
+    rows = once(benchmark, measure)
+    record("stacked", {"link_8023_app_ba0dc66b": {str(k): v for k, v in rows.items()}})
+    for n, row in rows.items():
+        assert row["effective_bits"] == 64
+        assert row["joint_hd"] >= max(row["link_hd"], row["app_hd"]) + 1
+
+
+def test_hardware_minterms(benchmark, record):
+    """§4.2: "Having only five non-zero coefficients may help in
+    creating high-speed combinational logic implementation of CRCs by
+    reducing logic synthesis minterms" -- XOR-term counts of the
+    8-bit-datapath parallel network for each polynomial."""
+
+    def measure():
+        return compare_hardware_cost({
+            "802.3": G_LINK,
+            "BA0DC66B": G_APP,
+            "90022004": koopman_to_full(0x90022004),
+            "80108400": koopman_to_full(0x80108400),
+            "D419CC15": koopman_to_full(0xD419CC15),
+        }, datapath=8)
+
+    costs = once(benchmark, measure)
+    record("stacked", {"parallel_crc_xor_terms_datapath8": costs})
+    assert costs["90022004"]["xor_terms"] < costs["802.3"]["xor_terms"]
+    assert costs["80108400"]["xor_terms"] < costs["802.3"]["xor_terms"]
+    # the sparse pair is also sparser than the paper's HD-optimal pick
+    assert costs["90022004"]["xor_terms"] < costs["BA0DC66B"]["xor_terms"]

@@ -1,0 +1,73 @@
+"""E2/E11 (REPRO_FULL): the long cells of Table 1, exactly.
+
+These are the computations the paper needed days of 2001 hardware (or
+could not complete at all) for, each an exact single-CPU measurement
+here thanks to the MITM engine:
+
+* 0xBA0DC66B: HD=6 through 16,360 bits (the '19-day' cell);
+* 0xFA567D89: HD=6 through 32,736;
+* 0x992C1A4C: HD=6 through 32,738 (2014 erratum; original said 32,737);
+* 0x90022004: HD=6 through 32,738;
+* 0xD419CC15 / 0x80108400: HD=5 through 65,505;
+* 802.3: HD=4 through 91,607.
+
+Run with ``REPRO_FULL=1 pytest benchmarks/bench_table1_full.py
+--benchmark-only`` (budget ~15-25 minutes total).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once, requires_full
+from repro.crc.catalog import PAPER_POLYS
+from repro.hd.breakpoints import first_failure_length
+
+pytestmark = requires_full
+
+
+@pytest.mark.parametrize(
+    "key,k,n_max,paper_first_failure",
+    [
+        # (polynomial, weight, search bound, expected first failure)
+        ("BA0DC66B", 4, 20_000, 16_361),
+        ("FA567D89", 4, 40_000, 32_737),
+        ("992C1A4C", 4, 40_000, 32_739),   # 2014 erratum
+        ("90022004", 4, 40_000, 32_739),
+        ("802.3", 3, 95_000, 91_608),
+    ],
+    ids=["ba0d_w4", "fa56_w4", "992c_w4_erratum", "9002_w4", "8023_w3"],
+)
+def test_first_failure_long_cells(benchmark, record, key, k, n_max, paper_first_failure):
+    pp = PAPER_POLYS[key]
+    n = once(benchmark, lambda: first_failure_length(pp.full, k, n_max=n_max))
+    record("table1_full", {f"{key}_w{k}_first_failure": {
+        "paper": paper_first_failure, "measured": n,
+    }})
+    assert n == paper_first_failure
+
+
+@pytest.mark.parametrize(
+    "key,n_clear",
+    [("D419CC15", 65_505), ("80108400", 65_505)],
+    ids=["d419_hd5", "8010_hd5"],
+)
+def test_hd5_to_65505(benchmark, record, key, n_clear):
+    """{32}-class cells: no weight-3 or weight-4 failure through
+    65,505 bits; the HD=2 onset at 65,506 is order-derived."""
+    pp = PAPER_POLYS[key]
+
+    def verify():
+        w3 = first_failure_length(pp.full, 3, n_max=n_clear)
+        w4 = first_failure_length(pp.full, 4, n_max=n_clear)
+        return w3, w4
+
+    w3, w4 = once(benchmark, verify)
+    record("table1_full", {f"{key}_hd5_through_65505": {
+        "w3_first_failure": w3, "w4_first_failure": w4,
+        "paper": "HD=5 through 65505, HD=2 from 65506",
+    }})
+    assert w3 is None and w4 is None
+    from repro.gf2.order import order_of_x
+
+    assert order_of_x(pp.full) == 65_537

@@ -1,0 +1,150 @@
+"""E3: Table 2 -- factorization-class census of HD-target survivors.
+
+The paper's 32-bit census (21,292 HD=6-at-MTU survivors in 8 classes,
+all divisible by (x+1)) required the full farm campaign; per DESIGN.md
+the census *machinery* is reproduced exhaustively at scaled widths:
+
+* width 8 (default): all 128 generators, HD>=4 at a 100-bit "MTU".
+* width 10 (default): all 512 generators, HD>=4 at 200 bits.
+* width 12 (REPRO_FULL): all 2048 generators, HD>=5 at a 240-bit MTU
+  analogue -- the closest scaled analogue of "HD better than the
+  deployed standard at MTU".
+
+The paper's structural law -- every survivor divisible by (x+1) --
+is asserted at each width for even HD targets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once, requires_full
+from repro.analysis.tables import render_table2
+from repro.search.census import census_of
+from repro.search.exhaustive import SearchConfig, expected_examined, search_all
+
+
+def run_census(width: int, target_hd: int, lengths: tuple[int, ...]):
+    cfg = SearchConfig(
+        width=width, target_hd=target_hd, filter_lengths=lengths,
+        confirm_weights=False,
+    )
+    res = search_all(cfg)
+    return res, census_of(res.survivors)
+
+
+def test_width8_census(benchmark, record, results_dir):
+    res, census = once(benchmark, run_census, 8, 4, (16, 40, 100))
+    assert res.examined == expected_examined(8)
+    assert census.total > 0
+    assert census.all_divisible_by_x_plus_1()
+    text = render_table2(census, title="width-8 HD>=4 @ 100 bits census")
+    (results_dir / "table2_width8.txt").write_text(text)
+    record("table2", {
+        "width8_hd4_at_100": {
+            "examined": res.examined,
+            "survivors": census.total,
+            "classes": {str(sig): c for sig, c in census.sorted_rows()},
+            "all_div_x_plus_1": True,
+        }
+    })
+    benchmark.extra_info["survivors"] = census.total
+
+
+def test_width10_census(benchmark, record, results_dir):
+    """Width-10 census -- including a finding the scaled study
+    surfaces: the (x+1) law is a property of the 32-bit/MTU regime,
+    not a theorem.  At width 10 / HD>=4 / 200 bits, three {4,6}-class
+    survivors are NOT divisible by (x+1) (they hold W3 = 0 over this
+    range without the parity crutch).  Recorded, and asserted to stay
+    a small minority."""
+    res, census = once(benchmark, run_census, 10, 4, (32, 80, 200))
+    assert res.examined == expected_examined(10)
+    violators = census.violators_of_x_plus_1()
+    (results_dir / "table2_width10.txt").write_text(
+        render_table2(census, title="width-10 HD>=4 @ 200 bits census")
+    )
+    record("table2", {
+        "width10_hd4_at_200": {
+            "examined": res.examined,
+            "survivors": census.total,
+            "classes": {str(sig): c for sig, c in census.sorted_rows()},
+            "x_plus_1_violators": [hex(v) for v in violators],
+        }
+    })
+    # every violator genuinely earns its place (exact re-check)
+    from repro.hd.hamming import hamming_distance
+
+    for v in violators:
+        assert hamming_distance(v, 200) >= 4
+    assert len(violators) < census.total // 10
+
+
+@requires_full
+def test_width16_census_full(benchmark, record, results_dir):
+    """The genuine scaled Table 2: every one of the 32,768 16-bit
+    generators screened for HD>=6 at a 135-bit 'scaled MTU' (the
+    length regime where the best 16-bit polynomials hold HD=6, as the
+    32-bit ones do at 12112).  All survivors classified; the (x+1) law
+    asserted."""
+    res, census = once(benchmark, run_census, 16, 6, (40, 90, 135))
+    assert res.examined == expected_examined(16)
+    (results_dir / "table2_width16.txt").write_text(
+        render_table2(census, title="width-16 HD>=6 @ 135 bits census "
+                                    "(scaled Table 2)")
+    )
+    record("table2", {
+        "width16_hd6_at_135": {
+            "examined": res.examined,
+            "survivors": census.total,
+            "classes": {str(sig): c for sig, c in census.sorted_rows()},
+            "all_div_x_plus_1": census.all_divisible_by_x_plus_1(),
+        }
+    })
+    if census.total:
+        assert census.all_divisible_by_x_plus_1()
+
+
+@requires_full
+def test_width12_census_full(benchmark, record, results_dir):
+    res, census = once(benchmark, run_census, 12, 5, (32, 120, 240))
+    assert res.examined == expected_examined(12)
+    (results_dir / "table2_width12.txt").write_text(
+        render_table2(census, title="width-12 HD>=5 @ 240 bits census")
+    )
+    record("table2", {
+        "width12_hd5_at_240": {
+            "examined": res.examined,
+            "survivors": census.total,
+            "classes": {str(sig): c for sig, c in census.sorted_rows()},
+        }
+    })
+
+
+def test_32bit_named_class_membership(benchmark, record):
+    """At width 32 the census machinery is applied to the paper's
+    named survivors: their classes are Table 2 rows, and the four
+    HD=6-at-MTU polynomials obey the (x+1) law."""
+    from repro.crc.catalog import PAPER_POLYS
+    from repro.gf2.poly import divisible_by_x_plus_1
+
+    def classify():
+        hd6 = [
+            pp.full for pp in PAPER_POLYS.values()
+            if pp.hd_breaks.get(6, 0) >= 12112
+        ]
+        return census_of(hd6)
+
+    census = once(benchmark, classify)
+    rows = {sig: c for sig, c in census.sorted_rows()}
+    # classes seen among the named HD=6 polys, all present in Table 2
+    assert set(rows) <= {(1, 3, 28), (1, 1, 15, 15), (1, 1, 30)}
+    assert census.all_divisible_by_x_plus_1()
+    record("table2", {
+        "named_32bit_hd6_classes": {str(s): c for s, c in rows.items()},
+        "paper_table2_rows": {
+            "{1,1,30}": 658, "{1,3,28}": 448, "{1,1,15,15}": 9887,
+            "{1,1,2,28}": 895, "{1,3,14,14}": 4154, "{1,1,1,1,28}": 448,
+            "{1,1,2,14,14}": 2639, "{1,1,1,1,14,14}": 2263,
+        },
+    })

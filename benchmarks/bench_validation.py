@@ -1,0 +1,132 @@
+"""E10: the §4.5 validation program, re-run.
+
+* exhaustive 8-bit search: "simple" (reference enumeration) vs
+  "optimized" (MITM cascade) engines must agree candidate by candidate;
+* the two implementation-independent invariants over real profiles;
+* the Castagnoli publication error, rediscovered from scratch by
+  evaluating both hex values;
+* order computations re-verified against direct iteration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.crc.catalog import CASTAGNOLI_CORRECT_FULL, CASTAGNOLI_TYPO_FULL
+from repro.gf2.notation import full_to_koopman
+from repro.hd.breakpoints import refute_hd_at
+from repro.hd.hamming import hamming_distance
+from repro.hd.invariants import WeightMonitor
+from repro.hd.reference import enumerate_weights_reference
+from repro.hd.weights import weight_profile
+from repro.search.space import canonical_candidates
+
+
+def test_simple_vs_optimized_width8(benchmark, record):
+    """Every canonical 8-bit polynomial: reference enumeration weights
+    vs MITM-backed weight profile at 40 bits.  Bit-identical or bust."""
+
+    from repro.gf2.order import order_of_x
+    from repro.hd.hamming import hamming_distance
+
+    def compare_all():
+        mismatches = []
+        checked = degenerate = 0
+        for g in canonical_candidates(8):
+            ref = enumerate_weights_reference(g, 40, 4, order="lex").weights
+            if order_of_x(g) >= 48:
+                fast = weight_profile(g, 40, 4)
+                if ref != fast:
+                    mismatches.append(full_to_koopman(g))
+            else:
+                # degenerate generators (order < window, e.g. (x+1)^8):
+                # exact counting declines by design; cross-check the HD
+                # instead, which stays exact via the order shortcut.
+                degenerate += 1
+                ref_hd = next((k for k in (2, 3, 4) if ref[k]), None)
+                if ref_hd is not None:
+                    if hamming_distance(g, 40, k_max=8) != ref_hd:
+                        mismatches.append(full_to_koopman(g))
+            checked += 1
+        return checked, degenerate, mismatches
+
+    checked, degenerate, mismatches = once(benchmark, compare_all)
+    record("validation", {"simple_vs_optimized_width8": {
+        "candidates": checked, "degenerate": degenerate,
+        "mismatches": len(mismatches),
+    }})
+    assert checked == 72
+    assert mismatches == []
+
+
+def test_invariants_over_real_profiles(benchmark, record):
+    """Run the §4.5 monitors over a real sweep (both invariants were
+    violated by injected bugs in unit tests; here they must pass on
+    honest data for a 32-bit polynomial)."""
+    from repro.gf2.notation import koopman_to_full
+
+    g = koopman_to_full(0xBA0DC66B)  # divisible by (x+1)
+
+    def sweep():
+        mon = WeightMonitor(g)
+        for n in (100, 300, 1000, 2000):
+            w = weight_profile(g, n, 4)
+            w[3] = w[3]  # W3 present and must be 0 by parity
+            mon.observe(n, w)
+        return mon.checks_passed
+
+    passed = once(benchmark, sweep)
+    record("validation", {"invariant_monitor_checks": passed})
+    assert passed == 4
+
+
+def test_castagnoli_erratum_rediscovered(benchmark, record):
+    """Evaluate the two published hex values blind; the reproduction
+    must flag the typo'd one as unusable, as §4.2 reports."""
+
+    def evaluate():
+        return {
+            "typo_hd_at_382": hamming_distance(CASTAGNOLI_TYPO_FULL, 382),
+            "typo_hd_at_500": hamming_distance(CASTAGNOLI_TYPO_FULL, 500),
+            "correct_hd_at_500": hamming_distance(CASTAGNOLI_CORRECT_FULL, 500),
+            "correct_hd_at_12112": hamming_distance(CASTAGNOLI_CORRECT_FULL, 12112),
+        }
+
+    out = once(benchmark, evaluate)
+    record("validation", {"castagnoli_erratum": {
+        **out,
+        "paper": "published 1F6ACFB13 keeps HD=6 only to ~382 bits; "
+                 "correct 1F4ACFB13 (0xFA567D89) to 32736",
+    }})
+    assert out["typo_hd_at_382"] == 6
+    assert out["typo_hd_at_500"] == 5      # collapsed
+    assert out["correct_hd_at_500"] == 6   # fine
+    assert out["correct_hd_at_12112"] == 6
+
+
+def test_hd6_requires_x_plus_1_spot_check(benchmark, record):
+    """§4.2/§5: no polynomial NOT divisible by (x+1) has HD=6 at MTU.
+    Full proof needs the 2^30 sweep; here the claim is spot-checked by
+    inverse-filtering a deterministic sample of non-(x+1) polynomials
+    at MTU length -- every one must be refuted (HD < 6)."""
+    import random
+
+    rng = random.Random(2002)
+
+    def sample_and_refute():
+        refuted = 0
+        for _ in range(6):
+            # random 32-bit poly with an odd number of terms
+            k = (1 << 31) | rng.getrandbits(31)
+            g = (k << 1) | 1
+            if g.bit_count() % 2 == 0:
+                g ^= 2  # flip x^1 to make the term count odd
+            out = refute_hd_at(g, 6, 12112)
+            if out is not None:
+                refuted += 1
+        return refuted
+
+    refuted = once(benchmark, sample_and_refute)
+    record("validation", {"non_parity_spot_check_refuted": refuted})
+    assert refuted == 6

@@ -1,0 +1,49 @@
+"""E4: exact weight counting -- the paper's §3 headline numbers.
+
+* W4(12112) = 223,059 for the 802.3 polynomial ("this particular
+  polynomial ... will fail to detect the 223,059 four-bit possible
+  errors"), with the "slightly more than 1 in 2^32" aliasing fraction.
+* The §4.1 worked example: exactly ONE undetected 4-bit error at 2975
+  bits, zero at 2974.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from conftest import once
+from repro.gf2.notation import koopman_to_full
+from repro.hd.weights import count_weight_4, undetected_fraction, weight_profile
+
+G_8023 = koopman_to_full(0x82608EDB)
+MTU = 12112
+
+
+def test_w4_at_mtu(benchmark, record):
+    w4 = once(benchmark, count_weight_4, G_8023, MTU + 32)
+    record("w4_count", {
+        "8023_W4_at_12112": {"paper": 223059, "measured": w4},
+        "codeword_bits": MTU + 32,
+        "combinations": comb(MTU + 32, 4),
+    })
+    assert w4 == 223059
+    # "slightly more than 1 out of every 2^32 possible errors"
+    frac = undetected_fraction(w4, MTU + 32, 4)
+    assert 1.0 < frac * 2**32 < 1.1
+    benchmark.extra_info["W4"] = w4
+
+
+def test_worked_example_weights(benchmark, record):
+    def both():
+        return (
+            weight_profile(G_8023, 2974, 4),
+            weight_profile(G_8023, 2975, 4),
+        )
+
+    at_2974, at_2975 = once(benchmark, both)
+    record("w4_count", {
+        "8023_weights_at_2974": at_2974,
+        "8023_weights_at_2975": at_2975,
+    })
+    assert at_2974 == {2: 0, 3: 0, 4: 0}
+    assert at_2975 == {2: 0, 3: 0, 4: 1}  # "in fact exactly one"

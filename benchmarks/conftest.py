@@ -1,0 +1,55 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one exhibit of the paper (see DESIGN.md's
+per-experiment index) and records paper-vs-measured values into
+``results/`` as JSON, which EXPERIMENTS.md summarizes.  Long exact
+computations (Table 1's 16K-114K cells) only run with ``REPRO_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+REPRO_FULL = os.environ.get("REPRO_FULL") == "1"
+
+requires_full = pytest.mark.skipif(
+    not REPRO_FULL,
+    reason="multi-minute exact computation; set REPRO_FULL=1 to run",
+)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Append structured paper-vs-measured rows to results/<name>.json."""
+
+    def _record(name: str, payload) -> None:
+        path = results_dir / f"{name}.json"
+        existing = {}
+        if path.exists():
+            existing = json.loads(path.read_text())
+        if isinstance(payload, dict):
+            existing.update(payload)
+        else:
+            existing[name] = payload
+        path.write_text(json.dumps(existing, indent=1, sort_keys=True))
+
+    return _record
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive exact computation exactly once under the
+    benchmark clock (rounds=1): these are reproduction measurements,
+    not microbenchmarks."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

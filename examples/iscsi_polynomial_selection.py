@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §4.3 argument: which CRC should iSCSI adopt?
+
+Run:  python examples/iscsi_polynomial_selection.py
+
+The draft iSCSI standard (2001) was converging on Castagnoli's {1,31}
+polynomial 0x8F6E37A0, recommended by Sheinwald et al. for keeping
+HD=4 out to very long data words.  The paper counters with the newly
+discovered {1,3,28} polynomial 0xBA0DC66B: the same long-message
+guarantee, plus HD=6 for everything up to ~16K bits -- i.e. every
+single-MTU packet on the storage network gets two extra bits of
+guaranteed error detection.
+
+This example evaluates both candidates (and the legacy 802.3 CRC as
+the baseline) on the iSCSI workload mix: single MTU frames and packed
+multi-MTU PDUs under one end-to-end CRC.
+"""
+
+from repro import hamming_distance, paper_poly, report_for
+from repro.gf2.order import hd2_data_word_limit
+from repro.hd.breakpoints import max_length_for_hd
+from repro.network.frames import MTU_DATA_WORD_BITS, IscsiPdu
+
+CANDIDATES = ["802.3", "8F6E37A0", "BA0DC66B"]
+
+
+def main() -> None:
+    print("iSCSI workload: single MTUs + packed multi-MTU PDUs\n")
+
+    header = f"{'polynomial':>22} | {'HD @ 1 MTU':>10} | {'HD>=4 through':>14}"
+    print(header)
+    print("-" * len(header))
+    for key in CANDIDATES:
+        pp = paper_poly(key)
+        hd_mtu = hamming_distance(pp.full, MTU_DATA_WORD_BITS)
+        # HD >= 4 holds until weight-2 or weight-3 errors appear; for
+        # these (x+1)-divisible / primitive generators that is pure
+        # algebra (order of x), no search needed.
+        hd4_limit = hd2_data_word_limit(pp.full)
+        if key == "802.3":
+            # 802.3 is not divisible by (x+1): weight-3 errors bound it.
+            hd4_limit = pp.hd_breaks[4]
+        print(f"{pp.label[:22]:>22} | {hd_mtu:>10} | {hd4_limit:>14,}")
+
+    print("\nPacked PDUs under one CRC (the multi-MTU case):")
+    koop = paper_poly("BA0DC66B")
+    for mtus in (1, 2, 4, 8, 9):
+        pdu = IscsiPdu.packed_mtus(mtus)
+        ok = pdu.data_word_bits <= 114_663
+        print(f"  {mtus} MTU payload = {pdu.data_word_bits:>7,} bits: "
+              f"0xBA0DC66B HD=4 guarantee {'holds' if ok else 'EXCEEDED'}")
+
+    print(
+        "\nConclusion (the paper's): 0xBA0DC66B gives HD=6 for every\n"
+        "single-MTU message while preserving HD=4 beyond 9 MTUs --\n"
+        "strictly better than the draft's 0x8F6E37A0 for iSCSI.\n"
+    )
+
+    print("Short-message check (both keep HD=6 well past a 512B+40B packet):")
+    for key in ("8F6E37A0", "BA0DC66B"):
+        pp = paper_poly(key)
+        limit = max_length_for_hd(pp.full, 6, n_max=6000)
+        more = " (continues to 16,360 -- see REPRO_FULL benches)" \
+            if key == "BA0DC66B" and limit == 6000 else ""
+        print(f"  {key}: HD=6 verified through {limit:,} bits{more}")
+
+
+if __name__ == "__main__":
+    main()

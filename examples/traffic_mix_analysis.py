@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""What does a CRC choice cost on *your* traffic?
+
+Run:  python examples/traffic_mix_analysis.py
+
+§3 of the paper anchors its evaluation lengths in measured traffic
+(40-byte acks, 512-byte data packets, full MTUs).  But a deployment
+never sees one length -- it sees a mix -- so the decision-relevant
+number is the traffic-weighted undetected-error exposure.  This
+example evaluates the paper's main candidates over a stylized
+Internet mix and over a storage-area mix, showing how the ranking the
+paper argues for emerges from (and sharpens with) workload awareness.
+"""
+
+from repro import paper_poly
+from repro.network.frames import MTU_DATA_WORD_BITS
+from repro.network.traffic import (
+    TrafficClass,
+    compare_exposure,
+    exposure,
+    internet_mix,
+)
+
+CANDIDATES = {
+    "802.3": paper_poly("802.3").full,
+    "8F6E37A0": paper_poly("8F6E37A0").full,
+    "BA0DC66B": paper_poly("BA0DC66B").full,
+    "D419CC15": paper_poly("D419CC15").full,
+}
+
+
+def main() -> None:
+    print("Internet mix (50% acks / 30% 512B data / 20% MTU):\n")
+    print(compare_exposure(CANDIDATES, internet_mix()))
+
+    print("\nDetail for the deployed 802.3 CRC on that mix:\n")
+    print(exposure(CANDIDATES["802.3"], internet_mix()).render())
+
+    print("\nDetail for the paper's 0xBA0DC66B on the same mix:\n")
+    print(exposure(CANDIDATES["BA0DC66B"], internet_mix()).render())
+
+    # A storage network carries mostly large transfers: weight the MTU
+    # leg heavily and add a half-MTU control-message class.
+    storage_mix = [
+        TrafficClass("control", 400, 0.10),
+        TrafficClass("half MTU", MTU_DATA_WORD_BITS // 2, 0.20),
+        TrafficClass("full MTU", MTU_DATA_WORD_BITS, 0.70),
+    ]
+    print("\nStorage-area mix (70% MTU):\n")
+    print(compare_exposure(CANDIDATES, storage_mix))
+    print(
+        "\nReading: on MTU-heavy traffic the HD=6 polynomial's 4-bit\n"
+        "miss rate is exactly zero across the whole mix -- the paper's\n"
+        "iSCSI argument, quantified per workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

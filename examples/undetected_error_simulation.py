@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""How often does a corrupted frame slip past the CRC?
+
+Run:  python examples/undetected_error_simulation.py
+
+Stone & Partridge (cited by the paper's §4.4) measured that real
+traffic leans on the CRC "once every few thousand packets" -- far more
+than BER folklore suggests.  This example quantifies the consequence
+for an application-level error check:
+
+1. Monte Carlo: corrupt frames with i.i.d. bit errors and count how
+   many corrupted frames still pass the CRC -- on both the syndrome
+   fast path and the real byte-level receive path (they must agree:
+   CRC error detection is data-independent by linearity).
+2. Analytics: the exact P_ud = sum W_k p^k (1-p)^(N-k) from this
+   library's exact weight counts, compared against the simulation.
+3. The design-point payoff: the same exercise conditioned on 4-bit
+   errors, where a HD=6 polynomial's undetected rate is exactly zero
+   while HD=4 polynomials leak.
+"""
+
+from math import comb
+
+from repro import koopman_to_full, weight_profile
+from repro.network.errors import BernoulliBitErrors, FixedWeightErrors
+from repro.network.montecarlo import analytic_pud, simulate_undetected
+
+CRC8_ATM = 0x107            # small CRC so events are observable quickly
+G_8023 = koopman_to_full(0x82608EDB)
+G_BA0D = koopman_to_full(0xBA0DC66B)
+
+
+def part1_crc8_monte_carlo() -> None:
+    n, ber, trials = 80, 0.02, 200_000
+    big_n = n + 8
+    print(f"CRC-8/ATM over {n}-bit payloads at BER={ber} "
+          f"({trials:,} transmissions)")
+
+    res = simulate_undetected(
+        CRC8_ATM, n, BernoulliBitErrors(ber, seed=7), trials=trials
+    )
+    print(f"  syndrome path: {res.summary()}")
+
+    res_frames = simulate_undetected(
+        CRC8_ATM, n, FixedWeightErrors(4, seed=9), trials=5_000, via_frames=True
+    )
+    res_fast = simulate_undetected(
+        CRC8_ATM, n, FixedWeightErrors(4, seed=9), trials=5_000
+    )
+    print(f"  real receive path agrees with syndrome shortcut: "
+          f"{res_frames.undetected == res_fast.undetected} "
+          f"({res_frames.undetected} undetected in both)")
+
+    weights = weight_profile(CRC8_ATM, n, 4)
+    pud = analytic_pud(weights, big_n, ber)
+    p_corrupt = 1 - (1 - ber) ** big_n
+    print(f"  exact weights {weights}")
+    print(f"  analytic P[undetected | corrupted] = {pud / p_corrupt:.3g}; "
+          f"simulated = {res.p_undetected_given_corrupted:.3g}")
+
+
+def part2_design_point_payoff() -> None:
+    n = 3600  # a 450-byte application record
+    big_n = n + 32
+    print(f"\n32-bit CRCs guarding {n}-bit records against 4-bit errors:")
+    for name, g in [("IEEE 802.3 (HD=4 here)", G_8023),
+                    ("0xBA0DC66B (HD=6 here)", G_BA0D)]:
+        w4 = weight_profile(g, n, 4)[4]
+        rate = w4 / comb(big_n, 4)
+        shown = f"{rate:.3g}" if w4 else "0 (guaranteed)"
+        print(f"  {name:>24}: W4={w4:>6}  per-4-bit-error undetected "
+              f"rate = {shown}")
+    print(
+        "\nAt lengths where the paper's polynomial holds HD=6, the\n"
+        "undetected rate for <=5-bit errors is exactly zero -- not\n"
+        "small, zero.  That is what 'two extra bits of Hamming\n"
+        "distance' buys an application-level check."
+    )
+
+
+def main() -> None:
+    part1_crc8_monte_carlo()
+    part2_design_point_payoff()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro: a reproduction of Koopman, "32-Bit Cyclic Redundancy Codes
+for Internet Applications" (DSN 2002).
+
+The library answers the paper's two questions for any CRC polynomial:
+
+* *How good is it?* -- exact Hamming distance and undetected-error
+  weights at any data-word length
+  (:func:`~repro.hd.hamming.hamming_distance`,
+  :func:`~repro.hd.weights.weight_profile`,
+  :func:`~repro.hd.breakpoints.hd_breakpoint_table`).
+* *Which is best?* -- exhaustive search over the design space with the
+  paper's filter-cascade methodology
+  (:func:`~repro.search.exhaustive.search_all`), distributable across
+  unreliable workers (:mod:`repro.dist`).
+
+Quick taste::
+
+    >>> from repro import hamming_distance, koopman_to_full
+    >>> hamming_distance(koopman_to_full(0x82608EDB), 12112)   # 802.3 at MTU
+    4
+    >>> hamming_distance(koopman_to_full(0xBA0DC66B), 12112)   # the paper's pick
+    6
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.gf2 import (
+    koopman_to_full,
+    full_to_koopman,
+    class_signature,
+    class_signature_str,
+    order_of_x,
+    is_primitive,
+    factorize,
+)
+from repro.crc import CRCSpec, CATALOG, PAPER_POLYS, get_spec, paper_poly
+from repro.hd import (
+    hamming_distance,
+    weight_profile,
+    hd_breakpoint_table,
+    max_length_for_hd,
+    refute_hd_at,
+)
+from repro.search import SearchConfig, search_all, census_of
+from repro.search.optimize import best_for_length
+from repro.analysis import report_for, render_table1, render_table2
+from repro.gf2.ring import GF2Poly
+from repro.crc.stream import StreamingCrc, crc_combine
+from repro.network.stacked import stacked_hd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "koopman_to_full",
+    "full_to_koopman",
+    "class_signature",
+    "class_signature_str",
+    "order_of_x",
+    "is_primitive",
+    "factorize",
+    "CRCSpec",
+    "CATALOG",
+    "PAPER_POLYS",
+    "get_spec",
+    "paper_poly",
+    "hamming_distance",
+    "weight_profile",
+    "hd_breakpoint_table",
+    "max_length_for_hd",
+    "refute_hd_at",
+    "SearchConfig",
+    "search_all",
+    "census_of",
+    "best_for_length",
+    "report_for",
+    "render_table1",
+    "render_table2",
+    "GF2Poly",
+    "StreamingCrc",
+    "crc_combine",
+    "stacked_hd",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Reporting: regenerate the paper's exhibits from measured data.
+
+* :mod:`repro.analysis.polyinfo` -- everything the paper says about a
+  polynomial, in one report (notations, factorization, order,
+  primitivity, tap count, HD profile).
+* :mod:`repro.analysis.tables` -- Table 1 (HD bands per polynomial)
+  and Table 2 (class census) renderers.
+* :mod:`repro.analysis.figures` -- Figure 1 series (HD vs data-word
+  length) with CSV export and an ASCII rendering of the stepped
+  curves.
+"""
+
+from repro.analysis.polyinfo import PolyReport, report_for
+from repro.analysis.tables import render_table1, render_table2
+from repro.analysis.figures import figure1_series, render_figure1_ascii, series_to_csv
+
+__all__ = [
+    "PolyReport",
+    "report_for",
+    "render_table1",
+    "render_table2",
+    "figure1_series",
+    "render_figure1_ascii",
+    "series_to_csv",
+]

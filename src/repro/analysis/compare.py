@@ -1,0 +1,139 @@
+"""Pairwise polynomial comparison: who dominates where.
+
+Figure 1 exists to answer "which polynomial should I use?"  This
+module turns the measured breakpoint tables into direct answers:
+where one candidate dominates another, where they cross over, and a
+recommendation for a target length range -- the §4.3 argument
+("0xBA0DC66B is at least as good as 0x8F6E37A0 everywhere that
+matters, and strictly better at MTU lengths") as reusable analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hd.breakpoints import BreakpointTable
+
+
+@dataclass(frozen=True)
+class Dominance:
+    """Comparison of two candidates over a length range."""
+
+    label_a: str
+    label_b: str
+    n_min: int
+    n_max: int
+    a_better: list[tuple[int, int]]   # maximal runs where HD_a > HD_b
+    b_better: list[tuple[int, int]]
+    ties: list[tuple[int, int]]
+
+    @property
+    def a_dominates(self) -> bool:
+        """A is never worse and somewhere better."""
+        return not self.b_better and bool(self.a_better)
+
+    @property
+    def b_dominates(self) -> bool:
+        return not self.a_better and bool(self.b_better)
+
+    @property
+    def crossover_lengths(self) -> list[int]:
+        """Lengths at which the better candidate changes."""
+        events = sorted(
+            [(lo, "a") for lo, _ in self.a_better]
+            + [(lo, "b") for lo, _ in self.b_better]
+        )
+        out = []
+        prev = None
+        for lo, who in events:
+            if who != prev:
+                out.append(lo)
+                prev = who
+        return out
+
+    def render(self) -> str:
+        def runs(rs: list[tuple[int, int]]) -> str:
+            return ", ".join(f"{lo}-{hi}" for lo, hi in rs) or "nowhere"
+
+        lines = [
+            f"{self.label_a} vs {self.label_b} over {self.n_min}..{self.n_max} bits:",
+            f"  {self.label_a} better: {runs(self.a_better)}",
+            f"  {self.label_b} better: {runs(self.b_better)}",
+        ]
+        if self.a_dominates:
+            lines.append(f"  => {self.label_a} dominates")
+        elif self.b_dominates:
+            lines.append(f"  => {self.label_b} dominates")
+        else:
+            lines.append("  => neither dominates (workload-dependent)")
+        return "\n".join(lines)
+
+
+def _collapse(points: list[int]) -> list[tuple[int, int]]:
+    """Collapse a sorted list of integers into maximal runs."""
+    runs: list[tuple[int, int]] = []
+    for p in points:
+        if runs and p == runs[-1][1] + 1:
+            runs[-1] = (runs[-1][0], p)
+        else:
+            runs.append((p, p))
+    return runs
+
+
+def compare(
+    label_a: str,
+    table_a: BreakpointTable,
+    label_b: str,
+    table_b: BreakpointTable,
+    *,
+    n_min: int = 8,
+    n_max: int | None = None,
+) -> Dominance:
+    """Compare two measured breakpoint tables length by length.
+
+    Evaluation is over every integer length in range -- cheap, because
+    ``hd_at`` is a table lookup, and exact, because the tables are.
+    """
+    if n_max is None:
+        n_max = min(table_a.n_max, table_b.n_max)
+    a_pts: list[int] = []
+    b_pts: list[int] = []
+    tie_pts: list[int] = []
+    for n in range(n_min, n_max + 1):
+        ha = table_a.hd_at(n)
+        hb = table_b.hd_at(n)
+        if ha > hb:
+            a_pts.append(n)
+        elif hb > ha:
+            b_pts.append(n)
+        else:
+            tie_pts.append(n)
+    return Dominance(
+        label_a=label_a,
+        label_b=label_b,
+        n_min=n_min,
+        n_max=n_max,
+        a_better=_collapse(a_pts),
+        b_better=_collapse(b_pts),
+        ties=_collapse(tie_pts),
+    )
+
+
+def recommend(
+    candidates: dict[str, BreakpointTable],
+    *,
+    n_min: int,
+    n_max: int,
+) -> list[tuple[str, int]]:
+    """Rank candidates for a target length range by worst-case HD over
+    the range (ties broken by HD at the longest length, then name).
+
+    This is the paper's implicit selection rule: guarantee first.
+    """
+    scored = []
+    for label, table in candidates.items():
+        worst = min(table.hd_at(n) for n in range(n_min, n_max + 1))
+        at_top = table.hd_at(n_max)
+        scored.append((label, worst, at_top))
+    scored.sort(key=lambda t: (-t[1], -t[2], t[0]))
+    return [(label, worst) for label, worst, _ in scored]

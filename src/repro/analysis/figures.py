@@ -1,0 +1,94 @@
+"""Figure 1: error-detection capability curves.
+
+The paper's Figure 1 plots HD (y) against data-word length (x, log
+scale, 64 .. 128K bits) for eight polynomials, with vertical marks at
+the canonical Internet message sizes.  Given measured breakpoint
+tables the stepped curves are fully determined; this module samples
+them on a log grid, exports CSV, and renders an ASCII plot faithful
+enough to eyeball against the original.
+"""
+
+from __future__ import annotations
+
+from repro.hd.breakpoints import BreakpointTable
+
+
+def log2_grid(lo: int = 64, hi: int = 131072) -> list[int]:
+    """Powers of two between lo and hi inclusive -- Figure 1's x ticks."""
+    grid = []
+    n = lo
+    while n <= hi:
+        grid.append(n)
+        n *= 2
+    return grid
+
+
+def figure1_series(
+    columns: list[tuple[str, BreakpointTable]],
+    lengths: list[int] | None = None,
+) -> dict[str, list[tuple[int, int]]]:
+    """Sample each polynomial's HD curve at the given lengths.
+
+    Returns ``{label: [(length, hd), ...]}``.  Lengths beyond a
+    table's ``n_max`` are skipped (they would be extrapolation).
+    """
+    if lengths is None:
+        lengths = log2_grid()
+    series: dict[str, list[tuple[int, int]]] = {}
+    for label, table in columns:
+        pts = [(n, table.hd_at(n)) for n in lengths if n <= table.n_max]
+        series[label] = pts
+    return series
+
+
+def series_to_csv(series: dict[str, list[tuple[int, int]]]) -> str:
+    """CSV export: one row per length, one column per polynomial."""
+    lengths = sorted({n for pts in series.values() for n, _ in pts})
+    labels = list(series)
+    lookup = {label: dict(pts) for label, pts in series.items()}
+    lines = ["data_word_bits," + ",".join(labels)]
+    for n in lengths:
+        cells = [str(lookup[label].get(n, "")) for label in labels]
+        lines.append(f"{n}," + ",".join(cells))
+    return "\n".join(lines)
+
+
+def render_figure1_ascii(
+    series: dict[str, list[tuple[int, int]]],
+    *,
+    hd_min: int = 2,
+    hd_max: int = 8,
+) -> str:
+    """ASCII rendering of Figure 1: HD rows (descending) by length
+    columns; each cell shows how many polynomials hold that exact HD
+    at that length, and which (by single-letter key)."""
+    labels = list(series)
+    keys = "ABCDEFGHIJKLMNOP"[: len(labels)]
+    lengths = sorted({n for pts in series.values() for n, _ in pts})
+    lookup = {label: dict(pts) for label, pts in series.items()}
+    # column width fits the largest possible cell (every key at once)
+    col_w = max(6, len(labels) + 2)
+    header = "HD".rjust(4) + " " + "".join(
+        _short_len(n).rjust(col_w) for n in lengths
+    )
+    lines = [header, "-" * len(header)]
+    for hd in range(hd_max, hd_min - 1, -1):
+        row = [f"{hd:>4} "]
+        for n in lengths:
+            cell = "".join(
+                keys[i]
+                for i, label in enumerate(labels)
+                if lookup[label].get(n) == hd
+            )
+            row.append((cell or ".").rjust(col_w))
+        lines.append("".join(row))
+    lines.append("-" * len(header))
+    for i, label in enumerate(labels):
+        lines.append(f"  {keys[i]} = {label}")
+    return "\n".join(lines)
+
+
+def _short_len(n: int) -> str:
+    if n % 1024 == 0:
+        return f"{n // 1024}K"
+    return str(n)

@@ -1,0 +1,100 @@
+"""Renderers for the paper's tables.
+
+``render_table1`` lays out HD bands per polynomial exactly like the
+paper's Table 1: rows are HD values, cells are the data-word length
+range over which that HD holds.  ``render_table2`` is the class
+census (factorization signature vs survivor count).
+"""
+
+from __future__ import annotations
+
+from repro.hd.breakpoints import BreakpointTable
+from repro.search.census import ClassCensus
+
+
+def _bands_by_hd(table: BreakpointTable) -> dict[int, tuple[int, int | None]]:
+    return {hd: (lo, hi) for hd, lo, hi in table.bands}
+
+
+def render_table1(
+    columns: list[tuple[str, BreakpointTable]],
+    *,
+    title: str = "Message lengths in bits (exclusive of CRC field) for which "
+    "the specified HD is achieved",
+) -> str:
+    """ASCII Table 1 from measured breakpoint tables.
+
+    ``columns`` pairs a label (e.g. ``"IEEE 802.3"``) with its
+    measured :class:`BreakpointTable`.  Only HD rows that appear in at
+    least one column are printed, descending, like the paper.
+    """
+    per_column = [(label, _bands_by_hd(t)) for label, t in columns]
+    all_hds = sorted({hd for _, bands in per_column for hd in bands}, reverse=True)
+    label_width = max(12, *(len(label) for label, _ in per_column))
+    header = "HD".rjust(4) + " | " + " | ".join(
+        label.center(label_width) for label, _ in per_column
+    )
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for hd in all_hds:
+        cells = []
+        for _, bands in per_column:
+            if hd in bands:
+                lo, hi = bands[hd]
+                cell = f"{lo}-{hi}" if hi is not None else f"{lo}+"
+            else:
+                cell = ""
+            cells.append(cell.center(label_width))
+        lines.append(f"{hd:>4} | " + " | ".join(cells))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def render_table2(
+    census: ClassCensus,
+    *,
+    title: str = "Number of polynomials having the target HD for different "
+    "irreducible factorizations",
+) -> str:
+    """ASCII Table 2 from a measured class census.
+
+    Matches the paper's layout: number of factors, factor-degree
+    signature, count of distinct polynomials -- with the (x+1) law
+    noted underneath when it holds.
+    """
+    lines = [
+        title,
+        "-" * 64,
+        f"{'# factors':>10}  {'size of factors':<24} {'# distinct polys':>18}",
+        "-" * 64,
+    ]
+    for sig, count in census.sorted_rows():
+        sig_s = "{" + ",".join(map(str, sig)) + "}"
+        lines.append(f"{len(sig):>10}  {sig_s:<24} {count:>18,}")
+    lines.append("-" * 64)
+    lines.append(f"{'total':>10}  {'':<24} {census.total:>18,}")
+    if census.total:
+        if census.all_divisible_by_x_plus_1():
+            lines.append("all survivors are divisible by (x+1)  [paper's §4.2 law]")
+        else:
+            bad = len(census.violators_of_x_plus_1())
+            lines.append(f"{bad} survivors NOT divisible by (x+1)")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: list[tuple[str, dict[str, object]]], columns: list[str]
+) -> str:
+    """Generic labeled-rows table used by the benchmark harness for
+    paper-vs-measured summaries."""
+    widths = {c: max(len(c), *(len(str(v.get(c, ""))) for _, v in rows)) for c in columns}
+    label_w = max(len(label) for label, _ in rows)
+    header = " " * label_w + "  " + "  ".join(c.rjust(widths[c]) for c in columns)
+    lines = [header, "-" * len(header)]
+    for label, values in rows:
+        lines.append(
+            label.ljust(label_w)
+            + "  "
+            + "  ".join(str(values.get(c, "")).rjust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+Everyday operations from a shell, mirroring how the paper's artifacts
+would be consumed by a practitioner choosing a CRC:
+
+    python -m repro report 0xBA0DC66B
+    python -m repro hd 0x82608EDB 12112
+    python -m repro weights 0x82608EDB 2975
+    python -m repro breakpoints 0xBA0DC66B --hd-max 8 --n-max 4000
+    python -m repro search --width 8 --target-hd 4 --bits 100
+    python -m repro campaign --width 10 --target-hd 4 --bits 200 --workers 4
+    python -m repro crc CRC-32/IEEE-802.3 --hex 313233343536373839
+
+Polynomials are given in the paper's implicit-+1 hex notation when
+they have 32 bits (e.g. ``0xBA0DC66B``) or as full encodings with the
+top term included (e.g. ``0x104C11DB7``, any width).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.polyinfo import report_for
+from repro.analysis.tables import render_table2
+from repro.crc.catalog import CATALOG, get_spec
+from repro.crc.engine import crc_bitwise
+from repro.gf2.poly import degree
+from repro.hd.breakpoints import hd_breakpoint_table
+from repro.hd.hamming import hamming_distance
+from repro.hd.weights import weight_profile
+from repro.search.census import census_of, fewest_taps
+from repro.search.exhaustive import SearchConfig, search_all
+
+
+def parse_poly(text: str) -> int:
+    """Parse a polynomial argument.
+
+    32-bit values with the top bit set are treated as the paper's
+    implicit-+1 notation; anything else must be a full encoding
+    (degree term and +1 term present).
+    """
+    value = int(text, 0)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("polynomial must be positive")
+    if value.bit_length() == 32 and value >> 31:
+        return (value << 1) | 1  # paper notation
+    if value & 1 == 0:
+        raise argparse.ArgumentTypeError(
+            f"{text}: full encodings need the +1 term "
+            "(or pass a 32-bit implicit-+1 value)"
+        )
+    return value
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    table = None
+    if args.breakpoints:
+        table = hd_breakpoint_table(
+            args.poly, hd_max=args.hd_max, n_max=args.n_max
+        )
+    print(report_for(args.poly, table).render())
+    return 0
+
+
+def cmd_hd(args: argparse.Namespace) -> int:
+    hd = hamming_distance(args.poly, args.bits, k_max=args.k_max)
+    print(
+        f"HD = {hd} at {args.bits}-bit data words "
+        f"(detects all {hd - 1}-bit errors; some {hd}-bit errors escape)"
+    )
+    return 0
+
+
+def cmd_weights(args: argparse.Namespace) -> int:
+    prof = weight_profile(args.poly, args.bits, 4)
+    for k, w in sorted(prof.items()):
+        print(f"W{k} = {w}")
+    return 0
+
+
+def cmd_breakpoints(args: argparse.Namespace) -> int:
+    table = hd_breakpoint_table(
+        args.poly, hd_max=args.hd_max, n_max=args.n_max
+    )
+    print(f"HD bands for {args.poly:#x} (data-word bits, through {args.n_max}):")
+    for hd, lo, hi in table.bands:
+        hi_s = str(hi) if hi is not None else f">={args.n_max}"
+        print(f"  HD {hd}: {lo} .. {hi_s}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    if args.width > 14:
+        print("widths beyond 14 need the farm; see repro.dist", file=sys.stderr)
+        return 2
+    cascade = tuple(sorted({max(8, args.bits // 8), max(12, args.bits // 2), args.bits}))
+    cfg = SearchConfig(
+        width=args.width, target_hd=args.target_hd,
+        filter_lengths=cascade, confirm_weights=False,
+    )
+    res = search_all(cfg)
+    print(
+        f"{res.examined} candidates screened in {res.elapsed_seconds:.1f}s "
+        f"({res.filtering_rate:.0f}/s); {len(res.survivors)} achieve "
+        f"HD>={args.target_hd} at {args.bits} bits"
+    )
+    survivors = [r.poly for r in res.survivors]
+    for p in sorted(survivors):
+        print(f"  {p:#x}")
+    if survivors:
+        sparse = fewest_taps(survivors)[0]
+        print(f"fewest taps: {sparse:#x} ({sparse.bit_count()} terms)")
+        print(render_table2(census_of(survivors)))
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.dist.coordinator import Coordinator
+    from repro.dist.worker import ChunkWorker
+
+    cascade = tuple(sorted({max(8, args.bits // 8), max(12, args.bits // 2), args.bits}))
+    cfg = SearchConfig(
+        width=args.width, target_hd=args.target_hd,
+        filter_lengths=cascade, confirm_weights=False,
+    )
+    coord = Coordinator(config=cfg, chunk_size=args.chunk_size)
+    workers = [ChunkWorker(f"w{i}", cfg) for i in range(args.workers)]
+    coord.run(workers)
+    print(coord.queue.progress())
+    print(f"{len(coord.campaign.survivors)} survivors")
+    if args.checkpoint:
+        coord.save_checkpoint(args.checkpoint)
+        print(f"campaign record written to {args.checkpoint}")
+    return 0
+
+
+def cmd_crc(args: argparse.Namespace) -> int:
+    spec = get_spec(args.name)
+    data = bytes.fromhex(args.hex)
+    print(f"{spec.name}({args.hex}) = {crc_bitwise(spec, data):#0{spec.width // 4 + 2}x}")
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    for name, spec in sorted(CATALOG.items()):
+        print(spec)
+    return 0
+
+
+def cmd_stacked(args: argparse.Namespace) -> int:
+    from repro.network.stacked import stacked_hd
+
+    analysis = stacked_hd(args.link, args.app, args.bits, k_max=args.k_max)
+    print(analysis.render())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare
+    from repro.hd.breakpoints import hd_breakpoint_table
+
+    ta = hd_breakpoint_table(args.poly_a, hd_max=args.hd_max, n_max=args.n_max)
+    tb = hd_breakpoint_table(args.poly_b, hd_max=args.hd_max, n_max=args.n_max)
+    print(compare(f"{args.poly_a:#x}", ta, f"{args.poly_b:#x}", tb,
+                  n_min=args.n_min, n_max=args.n_max).render())
+    return 0
+
+
+def cmd_best(args: argparse.Namespace) -> int:
+    from repro.search.optimize import best_for_length
+
+    res = best_for_length(args.width, args.bits)
+    print(
+        f"best achievable HD at {args.bits} bits with a {args.width}-bit "
+        f"CRC: {res.best_hd} ({len(res.achievers)} achievers, "
+        f"{res.candidates_examined} candidates examined)"
+    )
+    print(f"recommended: {res.winner:#x}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CRC polynomial evaluation & search "
+                    "(Koopman, DSN 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="everything about one polynomial")
+    p.add_argument("poly", type=parse_poly)
+    p.add_argument("--breakpoints", action="store_true",
+                   help="also compute HD bands (slower)")
+    p.add_argument("--hd-max", type=int, default=8)
+    p.add_argument("--n-max", type=int, default=3000)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("hd", help="Hamming distance at a length")
+    p.add_argument("poly", type=parse_poly)
+    p.add_argument("bits", type=int)
+    p.add_argument("--k-max", type=int, default=16)
+    p.set_defaults(fn=cmd_hd)
+
+    p = sub.add_parser("weights", help="exact W2..W4 at a length")
+    p.add_argument("poly", type=parse_poly)
+    p.add_argument("bits", type=int)
+    p.set_defaults(fn=cmd_weights)
+
+    p = sub.add_parser("breakpoints", help="HD bands (Table 1 column)")
+    p.add_argument("poly", type=parse_poly)
+    p.add_argument("--hd-max", type=int, default=8)
+    p.add_argument("--n-max", type=int, default=3000)
+    p.set_defaults(fn=cmd_breakpoints)
+
+    p = sub.add_parser("search", help="exhaustive best-polynomial search")
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--target-hd", type=int, default=4)
+    p.add_argument("--bits", type=int, default=100)
+    p.set_defaults(fn=cmd_search)
+
+    p = sub.add_parser("campaign", help="distributed search campaign")
+    p.add_argument("--width", type=int, default=10)
+    p.add_argument("--target-hd", type=int, default=4)
+    p.add_argument("--bits", type=int, default=200)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--chunk-size", type=int, default=64)
+    p.add_argument("--checkpoint", type=str, default=None)
+    p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("crc", help="compute a catalog CRC over hex bytes")
+    p.add_argument("name", choices=sorted(CATALOG))
+    p.add_argument("--hex", required=True)
+    p.set_defaults(fn=cmd_crc)
+
+    p = sub.add_parser("catalog", help="list known CRC algorithms")
+    p.set_defaults(fn=cmd_catalog)
+
+    p = sub.add_parser("stacked", help="joint HD of a link+app CRC stack")
+    p.add_argument("link", type=parse_poly)
+    p.add_argument("app", type=parse_poly)
+    p.add_argument("bits", type=int)
+    p.add_argument("--k-max", type=int, default=8)
+    p.set_defaults(fn=cmd_stacked)
+
+    p = sub.add_parser("compare", help="pairwise dominance analysis")
+    p.add_argument("poly_a", type=parse_poly)
+    p.add_argument("poly_b", type=parse_poly)
+    p.add_argument("--n-min", type=int, default=8)
+    p.add_argument("--n-max", type=int, default=1200)
+    p.add_argument("--hd-max", type=int, default=8)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("best", help="best polynomial for a message length")
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--bits", type=int, default=64)
+    p.set_defaults(fn=cmd_best)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

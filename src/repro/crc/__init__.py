@@ -1,0 +1,55 @@
+"""CRC computation substrate.
+
+Implements parameterized CRC calculation the way real network stacks
+do -- bit-serial, table-driven, and slice-by-4 engines over a common
+:class:`~repro.crc.spec.CRCSpec` -- plus Frame Check Sequence (FCS)
+handling and codeword membership tests.
+
+The HD analysis in :mod:`repro.hd` reasons about the *codeword set*
+{ M(x)*x^r + FCS(M) }, which by CRC linearity is exactly the set of
+polynomial multiples of the generator; this package provides the
+concrete encoders whose behaviour those theorems describe, and the
+catalog of the paper's polynomials.
+"""
+
+from repro.crc.spec import CRCSpec
+from repro.crc.engine import (
+    crc_bitwise,
+    crc_table,
+    crc_slice4,
+    make_table,
+    BitSerialRegister,
+)
+from repro.crc.codeword import (
+    append_fcs,
+    check_fcs,
+    is_codeword,
+    codeword_from_message,
+    syndrome_of_bits,
+)
+from repro.crc.catalog import (
+    CATALOG,
+    PAPER_POLYS,
+    PaperPoly,
+    get_spec,
+    paper_poly,
+)
+
+__all__ = [
+    "CRCSpec",
+    "crc_bitwise",
+    "crc_table",
+    "crc_slice4",
+    "make_table",
+    "BitSerialRegister",
+    "append_fcs",
+    "check_fcs",
+    "is_codeword",
+    "codeword_from_message",
+    "syndrome_of_bits",
+    "CATALOG",
+    "PAPER_POLYS",
+    "PaperPoly",
+    "get_spec",
+    "paper_poly",
+]

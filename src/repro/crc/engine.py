@@ -1,0 +1,241 @@
+"""CRC computation engines.
+
+Three interchangeable engines over a :class:`~repro.crc.spec.CRCSpec`:
+
+``crc_bitwise``
+    The textbook shift-register, one bit at a time.  Slow but obviously
+    correct; the reference the faster engines are validated against.
+``crc_table``
+    Classic byte-at-a-time table lookup (256-entry table).
+``crc_slice4``
+    Slice-by-4: processes four bytes per step using four tables, the
+    technique high-throughput software stacks (and iSCSI initiators)
+    actually deploy.
+
+All three produce identical results for every spec (property-tested);
+the benchmark ``bench_crc_engines.py`` measures their relative
+throughput, standing in for the paper's concern that CRC choice must
+remain cheap to compute at line rate.
+
+There is also :class:`BitSerialRegister`, a stateful model of the
+hardware LFSR with explicit feedback taps, used to demonstrate the
+paper's observation that polynomials with few non-zero coefficients
+(0x90022004, 0x80108400) need fewer XOR gates.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.crc.spec import CRCSpec
+
+
+def _reflect(value: int, nbits: int) -> int:
+    """Bit-reverse ``value`` over ``nbits`` bits."""
+    result = 0
+    for _ in range(nbits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def crc_bitwise(spec: CRCSpec, data: bytes) -> int:
+    """Compute the CRC of ``data`` one bit at a time.
+
+    This is the direct realization of polynomial division: the register
+    holds the running remainder; each message bit enters at the top and
+    a set top bit triggers subtraction (XOR) of the generator.
+    """
+    register = spec.init
+    top = spec.topbit
+    mask = spec.mask
+    for byte in data:
+        if spec.refin:
+            byte = _reflect(byte, 8)
+        for bit_index in range(7, -1, -1):
+            in_bit = (byte >> bit_index) & 1
+            feedback = ((register >> (spec.width - 1)) & 1) ^ in_bit
+            register = (register << 1) & mask
+            if feedback:
+                register ^= spec.poly
+    _ = top
+    if spec.refout:
+        register = _reflect(register, spec.width)
+    return register ^ spec.xorout
+
+
+def crc_bits(spec: CRCSpec, bits: list[int]) -> int:
+    """CRC of an arbitrary *bit sequence* (not byte-aligned).
+
+    The paper reasons about data words of arbitrary bit length (e.g.
+    12112 bits); this entry point supports those directly.  Reflection
+    parameters are ignored -- bit streams have no byte structure.
+    """
+    register = spec.init
+    mask = spec.mask
+    for in_bit in bits:
+        feedback = ((register >> (spec.width - 1)) & 1) ^ (in_bit & 1)
+        register = (register << 1) & mask
+        if feedback:
+            register ^= spec.poly
+    return register ^ spec.xorout
+
+
+@lru_cache(maxsize=128)
+def make_table(width: int, poly: int, refin: bool) -> tuple[int, ...]:
+    """Build the 256-entry lookup table for byte-at-a-time computation.
+
+    For reflected specs the table is built over the reflected
+    polynomial so the inner loop needs no per-byte reflection.
+    """
+    table = []
+    if refin:
+        poly_r = _reflect(poly, width)
+        for byte in range(256):
+            crc = byte
+            for _ in range(8):
+                crc = (crc >> 1) ^ poly_r if crc & 1 else crc >> 1
+            table.append(crc)
+    else:
+        if width < 8:
+            raise ValueError("table method requires width >= 8")
+        mask = (1 << width) - 1
+        top = 1 << (width - 1)
+        for byte in range(256):
+            crc = byte << (width - 8)
+            for _ in range(8):
+                crc = ((crc << 1) & mask) ^ (poly if crc & top else 0)
+            table.append(crc)
+    return tuple(table)
+
+
+def crc_table(spec: CRCSpec, data: bytes) -> int:
+    """Byte-at-a-time table-driven CRC.
+
+    Supports ``width >= 8``.  Matches :func:`crc_bitwise` exactly
+    (property-tested in ``tests/crc/test_engines.py``).
+    """
+    if spec.width < 8:
+        # Table method needs at least a byte-wide register here; fall
+        # back to the reference engine for narrow CRCs.
+        return crc_bitwise(spec, data)
+    table = make_table(spec.width, spec.poly, spec.refin)
+    mask = spec.mask
+    if spec.refin:
+        register = _reflect(spec.init, spec.width)
+        for byte in data:
+            register = (register >> 8) ^ table[(register ^ byte) & 0xFF]
+        if not spec.refout:
+            register = _reflect(register, spec.width)
+    else:
+        register = spec.init
+        shift = spec.width - 8
+        for byte in data:
+            register = ((register << 8) & mask) ^ table[((register >> shift) ^ byte) & 0xFF]
+        if spec.refout:
+            register = _reflect(register, spec.width)
+    return register ^ spec.xorout
+
+
+@lru_cache(maxsize=32)
+def _make_slice_tables(
+    width: int, poly: int, refin: bool, nslices: int
+) -> tuple[tuple[int, ...], ...]:
+    """Tables T0..T{n-1} where T{k}[b] advances byte ``b`` through
+    ``k`` additional zero bytes -- the slice-by-N construction."""
+    t0 = make_table(width, poly, refin)
+    tables = [t0]
+    for _ in range(nslices - 1):
+        prev = tables[-1]
+        nxt = []
+        if refin:
+            for b in range(256):
+                c = prev[b]
+                nxt.append((c >> 8) ^ t0[c & 0xFF])
+        else:
+            mask = (1 << width) - 1
+            shift = width - 8
+            for b in range(256):
+                c = prev[b]
+                nxt.append(((c << 8) & mask) ^ t0[(c >> shift) & 0xFF])
+        tables.append(tuple(nxt))
+    return tuple(tables)
+
+
+def crc_slice4(spec: CRCSpec, data: bytes) -> int:
+    """Slice-by-4 CRC for 32-bit reflected specs; falls back to
+    :func:`crc_table` otherwise.
+
+    Processes 4 input bytes per iteration with 4 parallel table
+    lookups, the standard software technique for multi-gigabit rates.
+    """
+    if not (spec.width == 32 and spec.refin):
+        return crc_table(spec, data)
+    t = _make_slice_tables(spec.width, spec.poly, spec.refin, 4)
+    t0, t1, t2, t3 = t
+    register = _reflect(spec.init, 32)
+    n = len(data)
+    i = 0
+    while i + 4 <= n:
+        register ^= data[i] | (data[i + 1] << 8) | (data[i + 2] << 16) | (data[i + 3] << 24)
+        register = (
+            t3[register & 0xFF]
+            ^ t2[(register >> 8) & 0xFF]
+            ^ t1[(register >> 16) & 0xFF]
+            ^ t0[(register >> 24) & 0xFF]
+        )
+        i += 4
+    table = t0
+    while i < n:
+        register = (register >> 8) ^ table[(register ^ data[i]) & 0xFF]
+        i += 1
+    if not spec.refout:
+        register = _reflect(register, 32)
+    return register ^ spec.xorout
+
+
+class BitSerialRegister:
+    """Explicit hardware-style LFSR model with named feedback taps.
+
+    The paper highlights 0x90022004 and 0x80108400 as having the
+    minimum number of non-zero coefficients among the HD=6 / HD=5
+    classes, "potentially simplifying high-speed hardware
+    implementations".  This class makes that concrete: the
+    :attr:`xor_gate_count` of a Galois-configuration LFSR equals the
+    number of interior feedback taps.
+    """
+
+    def __init__(self, spec: CRCSpec) -> None:
+        self.spec = spec
+        self.register = spec.init
+        # Galois taps: one XOR gate per set coefficient below x^width.
+        self.taps = [i for i in range(spec.width) if (spec.poly >> i) & 1]
+
+    @property
+    def xor_gate_count(self) -> int:
+        """XOR gates of a Galois LFSR realization (interior taps)."""
+        return len(self.taps)
+
+    def reset(self) -> None:
+        """Return the register to the spec's initial value."""
+        self.register = self.spec.init
+
+    def shift_bit(self, in_bit: int) -> None:
+        """Clock a single message bit through the register."""
+        feedback = ((self.register >> (self.spec.width - 1)) & 1) ^ (in_bit & 1)
+        self.register = (self.register << 1) & self.spec.mask
+        if feedback:
+            self.register ^= self.spec.poly
+
+    def shift_bits(self, bits: list[int]) -> int:
+        """Clock a bit sequence; return the current register value."""
+        for b in bits:
+            self.shift_bit(b)
+        return self.register
+
+    def value(self) -> int:
+        """Current register contents after output transformations."""
+        register = self.register
+        if self.spec.refout:
+            register = _reflect(register, self.spec.width)
+        return register ^ self.spec.xorout

@@ -1,0 +1,130 @@
+"""CRC parameterization.
+
+A CRC in the wild is more than a generator polynomial: initial register
+value, input/output bit reflection, and final XOR all vary between
+standards (the "Rocksoft model" parameters).  :class:`CRCSpec` captures
+them; the engines in :mod:`repro.crc.engine` interpret them uniformly.
+
+Note that none of these presentation parameters affect *error
+detection* capability: reflection is a fixed bit permutation and
+init/xorout are constant offsets, so the set of undetectable error
+patterns is determined by the generator polynomial alone.  That is why
+the paper -- and :mod:`repro.hd` -- can ignore them.  A unit test
+(``tests/crc/test_presentation_invariance.py``) verifies this claim
+empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gf2.poly import degree
+
+
+@dataclass(frozen=True)
+class CRCSpec:
+    """Full parameterization of a CRC algorithm (Rocksoft model).
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"CRC-32/IEEE-802.3"``).
+    width:
+        Number of FCS bits, equal to the generator's degree.
+    poly:
+        Generator polynomial in *normal* (MSB-first, implicit top term)
+        form: bit ``i`` is the coefficient of ``x**i`` for ``i < width``.
+        E.g. ``0x04C11DB7`` for IEEE 802.3.
+    init:
+        Initial shift-register value (e.g. ``0xFFFFFFFF`` for 802.3).
+    refin:
+        If true, each input byte is processed least-significant-bit
+        first (as 802.3 serializes bits on the wire).
+    refout:
+        If true, the final register is bit-reversed before ``xorout``.
+    xorout:
+        Final XOR constant (e.g. ``0xFFFFFFFF`` for 802.3).
+    check:
+        Expected CRC of the ASCII bytes ``b"123456789"`` -- the
+        conventional cross-implementation test vector, or ``None`` if
+        unknown.
+    """
+
+    name: str
+    width: int
+    poly: int
+    init: int = 0
+    refin: bool = False
+    refout: bool = False
+    xorout: int = 0
+    check: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be positive")
+        mask = (1 << self.width) - 1
+        for field in ("poly", "init", "xorout"):
+            value = getattr(self, field)
+            if value & ~mask:
+                raise ValueError(f"{field}={value:#x} exceeds width {self.width}")
+        if self.poly & 1 == 0:
+            # A generator without the +1 term is x * G'(x); the factor x
+            # contributes nothing to error detection and wastes a bit.
+            raise ValueError(
+                f"poly={self.poly:#x} lacks the +1 term; "
+                "not a sensible CRC generator"
+            )
+
+    @property
+    def mask(self) -> int:
+        """Bit mask of ``width`` ones."""
+        return (1 << self.width) - 1
+
+    @property
+    def topbit(self) -> int:
+        """The register's most significant bit."""
+        return 1 << (self.width - 1)
+
+    @property
+    def full_poly(self) -> int:
+        """Generator with the implicit ``x**width`` term made explicit,
+        as used by :mod:`repro.gf2` and :mod:`repro.hd`."""
+        return self.poly | (1 << self.width)
+
+    @property
+    def koopman(self) -> int:
+        """The paper's implicit-+1 representation."""
+        return self.full_poly >> 1
+
+    def plain(self) -> "CRCSpec":
+        """The mathematically bare variant: same generator, zero init,
+        no reflection, zero xorout.  Its codewords are exactly the
+        multiples of the generator polynomial, matching the model the
+        HD analysis uses."""
+        return CRCSpec(
+            name=f"{self.name}/plain",
+            width=self.width,
+            poly=self.poly,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: width={self.width} poly={self.poly:#x} "
+            f"init={self.init:#x} refin={self.refin} refout={self.refout} "
+            f"xorout={self.xorout:#x}"
+        )
+
+
+def spec_from_full_poly(full: int, name: str | None = None, **kwargs) -> CRCSpec:
+    """Build a bare :class:`CRCSpec` from a full polynomial encoding.
+
+    >>> spec_from_full_poly(0x104C11DB7).width
+    32
+    """
+    width = degree(full)
+    return CRCSpec(
+        name=name or f"CRC-{width}/{full & ((1 << width) - 1):#x}",
+        width=width,
+        poly=full & ((1 << width) - 1),
+        **kwargs,
+    )

@@ -1,0 +1,215 @@
+"""Streaming and compositional CRC computation.
+
+Real protocol stacks rarely see a message as one buffer: they update
+CRCs incrementally, splice pre-computed CRCs of fragments together
+(scatter/gather, packet coalescing), and patch CRCs after in-place
+header rewrites.  This module provides those operations for any
+:class:`~repro.crc.spec.CRCSpec`:
+
+* :class:`StreamingCrc` -- the classic ``update()/digest()`` interface;
+* :func:`crc_combine` -- zlib-style ``crc32_combine``: merge
+  ``crc(A)`` and ``crc(B)`` into ``crc(A || B)`` in O(log len(B))
+  using GF(2) matrix exponentiation of the shift operator;
+* :func:`shift_operator` / :func:`advance` -- the underlying linear
+  algebra: the register-evolution matrix for feeding ``k`` zero bits,
+  exposed because the hardware analysis (:mod:`repro.crc.parallel`)
+  and the combine trick share it.
+
+All operations agree bit-for-bit with one-shot computation
+(property-tested in ``tests/crc/test_stream.py``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.crc.engine import _reflect, crc_bitwise, crc_table
+from repro.crc.spec import CRCSpec
+
+Matrix = tuple[int, ...]  # column-major: matrix[i] = column i as a bitmask
+
+
+def mat_vec(matrix: Matrix, vector: int) -> int:
+    """Multiply a GF(2) matrix (column bitmasks) by a bit-vector."""
+    out = 0
+    col = 0
+    while vector:
+        if vector & 1:
+            out ^= matrix[col]
+        vector >>= 1
+        col += 1
+    return out
+
+
+def mat_mul(a: Matrix, b: Matrix) -> Matrix:
+    """GF(2) matrix product ``a @ b`` (both column-major)."""
+    return tuple(mat_vec(a, col) for col in b)
+
+
+def identity(n: int) -> Matrix:
+    """The n x n identity."""
+    return tuple(1 << i for i in range(n))
+
+
+def mat_pow(matrix: Matrix, exp: int) -> Matrix:
+    """Matrix power by squaring."""
+    if exp < 0:
+        raise ValueError("negative exponent")
+    result = identity(len(matrix))
+    base = matrix
+    while exp:
+        if exp & 1:
+            result = mat_mul(base, result)
+        base = mat_mul(base, base)
+        exp >>= 1
+    return result
+
+
+@lru_cache(maxsize=64)
+def shift_operator(width: int, poly: int, refin: bool = False) -> Matrix:
+    """The one-zero-bit register evolution matrix, in the engine's own
+    orientation: for normal specs the register shifts up with top-bit
+    feedback; for reflected specs it shifts down with low-bit feedback
+    of the reflected polynomial.  Column ``i`` is the image of basis
+    state ``1 << i``."""
+    mask = (1 << width) - 1
+    cols = []
+    if refin:
+        poly_r = _reflect(poly, width)
+        for i in range(width):
+            state = 1 << i
+            state = (state >> 1) ^ (poly_r if state & 1 else 0)
+            cols.append(state)
+    else:
+        top = 1 << (width - 1)
+        for i in range(width):
+            state = 1 << i
+            state = ((state << 1) & mask) ^ (poly if state & top else 0)
+            cols.append(state)
+    return tuple(cols)
+
+
+def advance(spec: CRCSpec, register: int, zero_bits: int) -> int:
+    """Evolve an engine-orientation register through ``zero_bits``
+    zero input bits in O(log zero_bits) matrix work."""
+    op = mat_pow(shift_operator(spec.width, spec.poly, spec.refin), zero_bits)
+    return mat_vec(op, register)
+
+
+def _engine_init(spec: CRCSpec) -> int:
+    """The initial register value in engine orientation."""
+    return _reflect(spec.init, spec.width) if spec.refin else spec.init
+
+
+def _undress(spec: CRCSpec, crc: int) -> int:
+    """Invert xorout/refout to recover the engine-orientation register."""
+    register = crc ^ spec.xorout
+    if spec.refout != spec.refin:
+        register = _reflect(register, spec.width)
+    return register
+
+
+def _dress(spec: CRCSpec, register: int) -> int:
+    """Apply refout/xorout to an engine-orientation register."""
+    if spec.refout != spec.refin:
+        register = _reflect(register, spec.width)
+    return register ^ spec.xorout
+
+
+def crc_combine(spec: CRCSpec, crc_a: int, crc_b: int, len_b_bytes: int) -> int:
+    """CRC of the concatenation ``A || B`` from ``crc(A)``, ``crc(B)``
+    and ``len(B)`` -- without touching the data (zlib's
+    ``crc32_combine``, generalized to any spec).
+
+    Linearity argument: for fixed data ``B`` the register map is
+    affine, ``out = L(in) ^ c_B`` with ``L`` the advance-by-len(B)
+    operator.  ``crc(B)`` gives ``c_B = raw_B ^ L(init)``, so
+    ``raw(A||B) = L(raw_A) ^ raw_B ^ L(init)``.
+
+    >>> from repro.crc.catalog import get_spec
+    >>> s = get_spec("CRC-32/IEEE-802.3")
+    >>> crc_combine(s, crc_bitwise(s, b"hello "), crc_bitwise(s, b"world"), 5) \\
+    ...     == crc_bitwise(s, b"hello world")
+    True
+    """
+    if len_b_bytes < 0:
+        raise ValueError("negative length")
+    if len_b_bytes == 0:
+        return crc_a
+    raw_a = _undress(spec, crc_a)
+    raw_b = _undress(spec, crc_b)
+    combined = (
+        advance(spec, raw_a, 8 * len_b_bytes)
+        ^ raw_b
+        ^ advance(spec, _engine_init(spec), 8 * len_b_bytes)
+    )
+    return _dress(spec, combined)
+
+
+class StreamingCrc:
+    """Incremental CRC with the familiar update()/digest() shape.
+
+    ``digest()`` may be called at any point; the stream can continue
+    afterwards.  ``copy()`` forks the state (useful for trial
+    checksums of speculative suffixes).
+
+    >>> from repro.crc.catalog import get_spec
+    >>> s = get_spec("CRC-32/IEEE-802.3")
+    >>> h = StreamingCrc(s)
+    >>> h.update(b"123"); h.update(b"456789")
+    >>> h.digest() == 0xCBF43926
+    True
+    """
+
+    def __init__(self, spec: CRCSpec) -> None:
+        self.spec = spec
+        self._register = (
+            _reflect(spec.init, spec.width) if spec.refin else spec.init
+        )
+        self.length = 0
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes."""
+        spec = self.spec
+        if spec.width < 8:
+            # keep narrow CRCs on the bit-serial path
+            plain = CRCSpec(
+                name=spec.name, width=spec.width, poly=spec.poly,
+                init=self._register, refin=spec.refin,
+            )
+            raw = crc_bitwise(plain, data)
+            self._register = raw
+            self.length += len(data)
+            return
+        from repro.crc.engine import make_table
+
+        table = make_table(spec.width, spec.poly, spec.refin)
+        register = self._register
+        if spec.refin:
+            for byte in data:
+                register = (register >> 8) ^ table[(register ^ byte) & 0xFF]
+        else:
+            shift = spec.width - 8
+            mask = spec.mask
+            for byte in data:
+                register = ((register << 8) & mask) ^ table[
+                    ((register >> shift) ^ byte) & 0xFF
+                ]
+        self._register = register
+        self.length += len(data)
+
+    def digest(self) -> int:
+        """CRC of everything absorbed so far."""
+        spec = self.spec
+        register = self._register
+        if spec.refin and not spec.refout:
+            register = _reflect(register, spec.width)
+        elif spec.refout and not spec.refin:
+            register = _reflect(register, spec.width)
+        return register ^ spec.xorout
+
+    def copy(self) -> "StreamingCrc":
+        clone = StreamingCrc(self.spec)
+        clone._register = self._register
+        clone.length = self.length
+        return clone

@@ -1,0 +1,45 @@
+"""Distributed search campaign substrate.
+
+The paper's search ran from late May to early September 2001 across
+~50 continuously-available Alphastations and ~30 intermittently-
+available UltraSparcs -- a classic bag-of-tasks distributed
+computation over idle workstations, with all the attendant failure
+modes: machines disappearing mid-chunk, duplicate completions after
+recovery, stragglers, and the need to checkpoint months of progress.
+
+This package reproduces that system:
+
+* :mod:`repro.dist.tasks` / :mod:`repro.dist.queue` -- leased work
+  units over dense candidate-index ranges, with at-least-once delivery
+  and idempotent completion.
+* :mod:`repro.dist.worker` / :mod:`repro.dist.coordinator` -- the
+  executing and orchestrating halves; the coordinator checkpoints an
+  idempotently-mergeable :class:`~repro.search.records.CampaignRecord`.
+* :mod:`repro.dist.faults` -- deterministic fault injection (crashes,
+  duplicate deliveries, stragglers) used by the test suite to verify
+  no work is lost or double-counted.
+* :mod:`repro.dist.farm` -- a virtual-time discrete-event simulation
+  of the 2001 fleet, reproducing the campaign-scale arithmetic (why
+  2**30 polynomials at ~2/s/CPU takes a summer, and why Castagnoli's
+  special-purpose hardware would have needed 3600+ years).
+"""
+
+from repro.dist.tasks import SearchTask, TaskStatus
+from repro.dist.queue import TaskQueue
+from repro.dist.worker import ChunkWorker
+from repro.dist.coordinator import Coordinator
+from repro.dist.faults import FaultPlan
+from repro.dist.farm import FarmSpec, MachineSpec, simulate_campaign, CampaignEstimate
+
+__all__ = [
+    "SearchTask",
+    "TaskStatus",
+    "TaskQueue",
+    "ChunkWorker",
+    "Coordinator",
+    "FaultPlan",
+    "FarmSpec",
+    "MachineSpec",
+    "simulate_campaign",
+    "CampaignEstimate",
+]

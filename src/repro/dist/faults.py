@@ -1,0 +1,71 @@
+"""Deterministic fault injection for the distributed campaign.
+
+Idle-workstation computing's failure modes, as the 2001 campaign will
+have seen them: a machine's owner comes back and the worker dies
+mid-chunk; a worker finishes a chunk but its completion message is
+duplicated on retry; a slow machine holds a lease so long it expires.
+
+:class:`FaultPlan` scripts these deterministically (seeded) so the
+test suite can assert the exact recovery behaviour: every chunk ends
+DONE exactly once in the campaign record, regardless of the plan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultPlan:
+    """Scripted faults, keyed by (worker_id, how many chunks that
+    worker has started).
+
+    ``crash_points[w] = k`` -- worker ``w`` dies while executing its
+    k-th chunk (0-based): the chunk's result is lost, the lease must
+    expire and be reassigned.
+
+    ``duplicate_completions[w] = k`` -- worker ``w``'s k-th completed
+    chunk is delivered twice.
+
+    ``straggle[w] = factor`` -- worker ``w`` takes ``factor`` times
+    the nominal duration per chunk (lease-expiry pressure).
+    """
+
+    crash_points: dict[str, int] = field(default_factory=dict)
+    duplicate_completions: dict[str, int] = field(default_factory=dict)
+    straggle: dict[str, float] = field(default_factory=dict)
+
+    def crashes_on(self, worker_id: str, chunk_number: int) -> bool:
+        return self.crash_points.get(worker_id) == chunk_number
+
+    def duplicates_on(self, worker_id: str, chunk_number: int) -> bool:
+        return self.duplicate_completions.get(worker_id) == chunk_number
+
+    def slowdown(self, worker_id: str) -> float:
+        return self.straggle.get(worker_id, 1.0)
+
+    @classmethod
+    def random_plan(
+        cls,
+        worker_ids: list[str],
+        seed: int,
+        crash_fraction: float = 0.3,
+        duplicate_fraction: float = 0.2,
+        max_chunk: int = 4,
+    ) -> "FaultPlan":
+        """A reproducible random plan for soak tests."""
+        rng = random.Random(seed)
+        plan = cls()
+        for w in worker_ids:
+            if rng.random() < crash_fraction:
+                plan.crash_points[w] = rng.randrange(max_chunk)
+            if rng.random() < duplicate_fraction:
+                plan.duplicate_completions[w] = rng.randrange(max_chunk)
+            if rng.random() < 0.25:
+                plan.straggle[w] = 1.0 + 3.0 * rng.random()
+        return plan
+
+
+class WorkerCrashed(RuntimeError):
+    """Raised inside a worker to simulate the process dying mid-chunk."""

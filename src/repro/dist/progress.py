@@ -1,0 +1,95 @@
+"""Campaign progress tracking and completion estimation.
+
+A computation that runs "from late May to early September" needs an
+answer to "are we on track?" long before it finishes.  This module
+provides the estimator the 2001 campaign would have used: measured
+throughput over a sliding window, extrapolated over the remaining
+work, with an honest uncertainty band from the window's variance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass
+class ProgressTracker:
+    """Sliding-window throughput and ETA for a chunked campaign.
+
+    Feed ``observe(now, chunks_done_total)`` at any cadence; ask for
+    :meth:`eta` whenever.  Time is injected (virtual or wall clock).
+    """
+
+    total_chunks: int
+    window: int = 32  # completions remembered for rate estimation
+    samples: list[tuple[float, int]] = field(default_factory=list)
+
+    def observe(self, now: float, chunks_done: int) -> None:
+        """Record cumulative progress at a timestamp."""
+        if self.samples and chunks_done < self.samples[-1][1]:
+            raise ValueError("progress cannot regress")
+        if self.samples and now < self.samples[-1][0]:
+            raise ValueError("time cannot regress")
+        self.samples.append((now, chunks_done))
+        if len(self.samples) > self.window:
+            del self.samples[0]
+
+    @property
+    def done(self) -> int:
+        return self.samples[-1][1] if self.samples else 0
+
+    @property
+    def rate(self) -> float | None:
+        """Chunks per second over the observation window, or None
+        before two distinct samples exist."""
+        if len(self.samples) < 2:
+            return None
+        (t0, c0), (t1, c1) = self.samples[0], self.samples[-1]
+        if t1 <= t0:
+            return None
+        return (c1 - c0) / (t1 - t0)
+
+    def eta(self, now: float) -> float | None:
+        """Estimated seconds until completion, or None if unknowable
+        (no rate yet, or zero measured progress)."""
+        r = self.rate
+        if not r:
+            return None
+        remaining = self.total_chunks - self.done
+        if remaining <= 0:
+            return 0.0
+        return remaining / r
+
+    def eta_interval(self, now: float, spread: float = 0.25) -> tuple[float, float] | None:
+        """A crude (1 +/- spread) band around the point ETA -- honest
+        enough for a campaign dashboard without pretending to a
+        distributional model the data can't support."""
+        point = self.eta(now)
+        if point is None:
+            return None
+        return point * (1 - spread), point * (1 + spread)
+
+    def summary(self, now: float) -> str:
+        pct = 100.0 * self.done / self.total_chunks if self.total_chunks else 100.0
+        eta = self.eta(now)
+        if eta is None:
+            eta_s = "ETA unknown"
+        elif eta == 0:
+            eta_s = "complete"
+        else:
+            eta_s = f"ETA {eta / SECONDS_PER_DAY:.1f} days"
+        return f"{self.done}/{self.total_chunks} chunks ({pct:.1f}%), {eta_s}"
+
+
+def campaign_on_track(
+    tracker: ProgressTracker, now: float, deadline: float
+) -> bool | None:
+    """Will the campaign finish by ``deadline`` at the measured rate?
+    None while the rate is unknown."""
+    eta = tracker.eta(now)
+    if eta is None:
+        return None
+    return now + eta <= deadline

@@ -1,0 +1,96 @@
+"""Leased task queue with at-least-once semantics.
+
+Semantics (enforced by ``tests/dist/test_queue.py``):
+
+* ``lease`` hands out the lowest-id PENDING task, marking it LEASED
+  with an expiry; expired leases are reclaimed lazily on the next
+  queue operation, so a silent worker cannot strand work.
+* ``complete`` is idempotent: the first completion of a chunk wins
+  and returns True; replays (from recovered workers or duplicated
+  messages) return False and change nothing.
+* A completion from a worker whose lease was reassigned is *still
+  accepted* if the chunk is not yet done -- the computation is
+  deterministic, so any worker's answer for a chunk is the answer.
+
+Time is injected (``now`` parameters) rather than read from a clock,
+so both the real in-process coordinator and the virtual-time farm
+simulator drive the same code.
+"""
+
+from __future__ import annotations
+
+from repro.dist.tasks import SearchTask, TaskStatus
+
+
+class TaskQueue:
+    """In-memory durable-semantics task queue for a search campaign."""
+
+    def __init__(self, tasks: list[SearchTask], lease_duration: float = 600.0):
+        ids = [t.chunk_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate chunk ids")
+        self._tasks: dict[int, SearchTask] = {t.chunk_id: t for t in tasks}
+        self.lease_duration = lease_duration
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def task(self, chunk_id: int) -> SearchTask:
+        return self._tasks[chunk_id]
+
+    def _reclaim_expired(self, now: float) -> None:
+        for t in self._tasks.values():
+            if t.status is TaskStatus.LEASED and t.lease_expires_at <= now:
+                t.expire(now)
+
+    def lease(self, worker_id: str, now: float) -> SearchTask | None:
+        """Lease the next available task, or None if nothing is
+        pending (work may still be in flight with other workers)."""
+        self._reclaim_expired(now)
+        for chunk_id in sorted(self._tasks):
+            t = self._tasks[chunk_id]
+            if t.status is TaskStatus.PENDING:
+                t.lease(worker_id, now, self.lease_duration)
+                return t
+        return None
+
+    def complete(self, chunk_id: int, worker_id: str, now: float) -> bool:
+        """Record completion.  True if this is the first completion,
+        False for idempotent replays."""
+        t = self._tasks[chunk_id]
+        if t.status is TaskStatus.DONE:
+            return False
+        t.complete(worker_id, now)
+        return True
+
+    def renew(self, chunk_id: int, worker_id: str, now: float) -> bool:
+        """Heartbeat: extend a live lease.  False if the lease was
+        already reassigned (worker should abandon the chunk)."""
+        t = self._tasks[chunk_id]
+        if t.status is not TaskStatus.LEASED or t.owner != worker_id:
+            return False
+        t.lease_expires_at = now + self.lease_duration
+        return True
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for t in self._tasks.values() if t.status is TaskStatus.PENDING)
+
+    @property
+    def leased(self) -> int:
+        return sum(1 for t in self._tasks.values() if t.status is TaskStatus.LEASED)
+
+    @property
+    def done(self) -> int:
+        return sum(1 for t in self._tasks.values() if t.status is TaskStatus.DONE)
+
+    @property
+    def all_done(self) -> bool:
+        return self.done == len(self._tasks)
+
+    def progress(self) -> str:
+        """One-line status, campaign-log style."""
+        return (
+            f"{self.done}/{len(self._tasks)} chunks done, "
+            f"{self.leased} in flight, {self.pending} pending"
+        )

@@ -1,0 +1,90 @@
+"""Work units for the distributed search.
+
+A task is a dense index range of the candidate space (see
+:mod:`repro.search.space`); ranges tile the space exactly, so chunk
+boundaries are disjoint by construction and completion bookkeeping is
+a bitmap of chunk ids.  Tasks carry a lease: a worker that goes silent
+past its lease expiry forfeits the task, which then becomes available
+for reassignment -- at-least-once execution, made safe by idempotent
+result merging on the coordinator side.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TaskStatus(enum.Enum):
+    """Lifecycle of a work unit."""
+
+    PENDING = "pending"
+    LEASED = "leased"
+    DONE = "done"
+
+
+@dataclass
+class SearchTask:
+    """One leasable chunk of the candidate space.
+
+    ``chunk_id`` doubles as the idempotency key: the coordinator
+    accepts the first completion for each id and ignores replays.
+    """
+
+    chunk_id: int
+    start_index: int
+    end_index: int
+    status: TaskStatus = TaskStatus.PENDING
+    owner: str | None = None
+    lease_expires_at: float = 0.0
+    attempts: int = 0
+    history: list[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of raw candidate indices in the chunk."""
+        return self.end_index - self.start_index
+
+    def lease(self, worker_id: str, now: float, duration: float) -> None:
+        """Assign to a worker until ``now + duration``."""
+        self.status = TaskStatus.LEASED
+        self.owner = worker_id
+        self.lease_expires_at = now + duration
+        self.attempts += 1
+        self.history.append(f"leased to {worker_id} at {now:.1f}")
+
+    def expire(self, now: float) -> None:
+        """Reclaim an abandoned lease."""
+        self.history.append(
+            f"lease by {self.owner} expired at {now:.1f} (attempt {self.attempts})"
+        )
+        self.status = TaskStatus.PENDING
+        self.owner = None
+        self.lease_expires_at = 0.0
+
+    def complete(self, worker_id: str, now: float) -> None:
+        """Mark done (first completion wins; caller handles replays)."""
+        self.status = TaskStatus.DONE
+        self.history.append(f"completed by {worker_id} at {now:.1f}")
+
+
+def partition_space(width: int, chunk_size: int) -> list[SearchTask]:
+    """Tile the width-r candidate index space into tasks.
+
+    >>> tasks = partition_space(8, 32)
+    >>> [(t.start_index, t.end_index) for t in tasks]
+    [(0, 32), (32, 64), (64, 96), (96, 128)]
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    total = 1 << (width - 1)
+    tasks = []
+    for chunk_id, start in enumerate(range(0, total, chunk_size)):
+        tasks.append(
+            SearchTask(
+                chunk_id=chunk_id,
+                start_index=start,
+                end_index=min(start + chunk_size, total),
+            )
+        )
+    return tasks

@@ -1,0 +1,97 @@
+"""Search workers.
+
+A worker leases chunks, evaluates them with the real search engine
+(:func:`repro.search.exhaustive.search_chunk`), and reports results.
+Fault injection hooks let the test suite script crashes and duplicate
+deliveries at exact points; the executor is also pluggable so the
+virtual-time farm can substitute a cost model for actual computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dist.faults import FaultPlan, WorkerCrashed
+from repro.dist.queue import TaskQueue
+from repro.dist.tasks import SearchTask
+from repro.search.exhaustive import SearchConfig, SearchResult, search_chunk
+
+Executor = Callable[[SearchConfig, int, int], SearchResult]
+
+
+@dataclass
+class ChunkWorker:
+    """One workstation's worth of the campaign.
+
+    ``alive`` goes False on an injected crash; a dead worker never
+    leases again (the 2001 analogue: the machine's owner came back).
+    """
+
+    worker_id: str
+    config: SearchConfig
+    executor: Executor = search_chunk
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    chunks_started: int = 0
+    chunks_completed: int = 0
+    alive: bool = True
+
+    def run_one(self, queue: TaskQueue, now: float) -> tuple[SearchTask, SearchResult] | None:
+        """Lease and execute a single chunk.
+
+        Returns ``(task, result)`` on success, ``None`` when no work
+        is pending.  Raises :class:`WorkerCrashed` when the fault plan
+        kills this worker mid-chunk (the lease is left to expire, as
+        in reality -- a dead process sends no nack).
+        """
+        if not self.alive:
+            raise WorkerCrashed(f"{self.worker_id} is dead")
+        task = queue.lease(self.worker_id, now)
+        if task is None:
+            return None
+        my_chunk_number = self.chunks_started
+        self.chunks_started += 1
+        if self.faults.crashes_on(self.worker_id, my_chunk_number):
+            self.alive = False
+            raise WorkerCrashed(
+                f"{self.worker_id} crashed on chunk {task.chunk_id}"
+            )
+        result = self.executor(self.config, task.start_index, task.end_index)
+        self.chunks_completed += 1
+        return task, result
+
+    def deliveries_for(self, chunk_number: int) -> int:
+        """How many times the completion of the worker's n-th chunk is
+        delivered (2 when the fault plan injects a duplicate)."""
+        return 2 if self.faults.duplicates_on(self.worker_id, chunk_number) else 1
+
+
+def drain(
+    worker: ChunkWorker,
+    queue: TaskQueue,
+    on_complete: Callable[[SearchTask, SearchResult, str], None],
+    *,
+    start_time: float = 0.0,
+    time_per_chunk: float = 1.0,
+) -> float:
+    """Run a single worker until the queue has nothing pending for it,
+    invoking ``on_complete`` for each delivery (including injected
+    duplicates).  Returns the worker's local clock at the end.
+
+    This is the single-machine degenerate case; the coordinator and
+    farm modules interleave multiple workers.
+    """
+    now = start_time
+    while True:
+        try:
+            outcome = worker.run_one(queue, now)
+        except WorkerCrashed:
+            return now
+        if outcome is None:
+            return now
+        task, result = outcome
+        now += time_per_chunk * worker.faults.slowdown(worker.worker_id)
+        completed_number = worker.chunks_completed - 1
+        for _ in range(worker.deliveries_for(completed_number)):
+            queue.complete(task.chunk_id, worker.worker_id, now)
+            on_complete(task, result, worker.worker_id)

@@ -1,0 +1,188 @@
+"""Complete factorization in GF(2)[x].
+
+Implements the classical three-stage pipeline:
+
+1. **Squarefree decomposition** -- over GF(2) a polynomial with zero
+   derivative is a perfect square (``p(x) = q(x)**2``), handled by
+   recursive square-root extraction; otherwise ``gcd(p, p')`` splits
+   off repeated factors.
+2. **Distinct-degree factorization (DDF)** -- ``x**(2**d) - x`` is the
+   product of all irreducibles of degree dividing ``d``, so successive
+   gcds bucket the squarefree part by factor degree.
+3. **Equal-degree factorization (EDF)** -- Cantor-Zassenhaus adapted to
+   characteristic 2 using the trace map
+   ``T(a) = a + a^2 + a^4 + ... + a^(2^(d-1)) mod f``:
+   ``gcd(T(a), f)`` is a non-trivial splitter with probability ~1/2
+   for random ``a``.
+
+The driver is deterministic (seeded RNG) so factorizations -- and thus
+class censuses -- are reproducible run to run.
+
+This module is what turns 0xBA0DC66B into the paper's
+``(x+1)(x^3+x^2+1)(x^28+...+1)`` = class ``{1,3,28}``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.gf2.poly import (
+    degree,
+    derivative,
+    gf2_gcd,
+    gf2_divmod,
+    gf2_mod,
+    gf2_mulmod,
+    gf2_sqrt,
+)
+
+_X = 0b10
+
+
+def _odd_multiplicity_part(p: int) -> int:
+    """Return the (squarefree) product of the distinct irreducible
+    factors of ``p`` that appear with *odd* multiplicity.
+
+    Over GF(2), for ``p = prod f_i**e_i`` the derivative kills terms
+    with even ``e_i`` entirely, so ``p / gcd(p, p') == prod_{e_i odd} f_i``.
+    Requires ``p' != 0``.
+    """
+    d = derivative(p)
+    g = gf2_gcd(p, d)
+    quotient, rem = gf2_divmod(p, g)
+    assert rem == 0
+    return quotient
+
+
+def _distinct_degree(f: int) -> list[tuple[int, int]]:
+    """DDF of a squarefree ``f``: list of ``(product, factor_degree)``."""
+    result = []
+    h = gf2_mod(_X, f)
+    remaining = f
+    d = 0
+    while degree(remaining) > 2 * d:
+        d += 1
+        h = gf2_mulmod(h, h, remaining)
+        g = gf2_gcd(h ^ _X, remaining)
+        if degree(g) >= 1:
+            result.append((g, d))
+            remaining, rem = gf2_divmod(remaining, g)
+            assert rem == 0
+            h = gf2_mod(h, remaining)
+    if degree(remaining) >= 1:
+        result.append((remaining, degree(remaining)))
+    return result
+
+
+def _trace_map(a: int, f: int, d: int) -> int:
+    """Trace of ``a`` from GF(2^d) down to GF(2), computed mod ``f``."""
+    t = a
+    s = a
+    for _ in range(d - 1):
+        s = gf2_mulmod(s, s, f)
+        t ^= s
+    return t
+
+
+def _equal_degree(f: int, d: int, rng: random.Random) -> list[int]:
+    """Split squarefree ``f``, all of whose irreducible factors have
+    degree exactly ``d``, into those factors (Cantor-Zassenhaus, char 2).
+    """
+    n = degree(f)
+    if n == d:
+        return [f]
+    while True:
+        a = rng.getrandbits(n) | 1
+        a = gf2_mod(a, f)
+        if degree(a) < 1:
+            continue
+        g = gf2_gcd(a, f)
+        if 1 <= degree(g) < n:
+            split = g
+        else:
+            t = _trace_map(a, f, d)
+            split = gf2_gcd(t, f)
+            if not (1 <= degree(split) < n):
+                continue
+        other, rem = gf2_divmod(f, split)
+        assert rem == 0
+        return _equal_degree(split, d, rng) + _equal_degree(other, d, rng)
+
+
+def factorize(p: int) -> list[tuple[int, int]]:
+    """Factor ``p`` into irreducibles over GF(2).
+
+    Returns a list of ``(irreducible_factor, multiplicity)`` sorted by
+    (degree, encoding).  The product of ``factor**multiplicity`` always
+    reconstructs ``p`` exactly (tests enforce this).
+
+    >>> factorize(0b101)            # x^2 + 1 == (x+1)^2
+    [(3, 2)]
+    >>> sorted(d for f, m in factorize(0x104C11DB7) for d in [f.bit_length()-1])
+    [32]
+    """
+    if p == 0:
+        raise ValueError("cannot factor the zero polynomial")
+    if degree(p) < 1:
+        return []
+    rng = random.Random(0xD5_2002)  # deterministic: DSN 2002
+    # Pull out powers of x first so the rest has unit constant term.
+    factors: dict[int, int] = {}
+    while p & 1 == 0:
+        factors[_X] = factors.get(_X, 0) + 1
+        p >>= 1
+    _factor_into(p, 1, factors, rng)
+    return sorted(factors.items(), key=lambda fm: (degree(fm[0]), fm[0]))
+
+
+def _factor_into(
+    p: int, outer_mult: int, factors: dict[int, int], rng: random.Random
+) -> None:
+    """Accumulate the factorization of ``p`` (each factor's multiplicity
+    scaled by ``outer_mult``) into ``factors``.
+
+    Strategy: the odd-multiplicity part (squarefree) is split with
+    DDF/EDF; each found irreducible is divided out *completely* so its
+    exact multiplicity is counted by construction.  What remains has
+    only even multiplicities, hence zero derivative, hence is a perfect
+    square -- recurse on its square root with doubled ``outer_mult``.
+    """
+    if degree(p) < 1:
+        return
+    d = derivative(p)
+    if d == 0:
+        _factor_into(gf2_sqrt(p), outer_mult * 2, factors, rng)
+        return
+    squarefree = _odd_multiplicity_part(p)
+    for product, deg_d in _distinct_degree(squarefree):
+        for irred in _equal_degree(product, deg_d, rng):
+            mult = 0
+            while True:
+                quotient, rem = gf2_divmod(p, irred)
+                if rem != 0:
+                    break
+                p = quotient
+                mult += 1
+            factors[irred] = factors.get(irred, 0) + mult * outer_mult
+    _factor_into(p, outer_mult, factors, rng)
+
+
+def factor_degrees(p: int) -> list[int]:
+    """Degrees of the irreducible factors of ``p`` with multiplicity,
+    sorted ascending -- the paper's class notation ``{d1, .., dk}``.
+
+    >>> factor_degrees(0b101)  # (x+1)^2
+    [1, 1]
+    """
+    degs: list[int] = []
+    for f, mult in factorize(p):
+        degs.extend([degree(f)] * mult)
+    return sorted(degs)
+
+
+def is_squarefree(p: int) -> bool:
+    """True iff ``p`` has no repeated irreducible factor."""
+    d = derivative(p)
+    if d == 0:
+        return degree(p) < 1
+    return degree(gf2_gcd(p, d)) < 1

@@ -1,0 +1,149 @@
+"""Integer factorization helpers.
+
+The multiplicative order of ``x`` modulo an irreducible polynomial of
+degree ``d`` divides ``2**d - 1``; computing it exactly requires the
+prime factorization of ``2**d - 1`` (a Mersenne-style number up to
+``2**64 - 1`` for this project).  Trial division plus Brent's variant
+of Pollard rho with a Miller-Rabin primality test handles that range
+in well under a second.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+# Deterministic Miller-Rabin witness set for n < 3.3e24 (Sorenson/Webster).
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality for ``n < 3.3e24`` (Miller-Rabin with a
+    proven witness set); probabilistic beyond that (ample for 2**d - 1
+    with d <= 64, which is all this project needs).
+
+    >>> is_prime(2**31 - 1)
+    True
+    >>> is_prime(2**32 - 1)
+    False
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    witnesses = _MR_WITNESSES
+    if n >= 3317044064679887385961981:  # fall back to random witnesses
+        rng = random.Random(0xC0FFEE)
+        witnesses = tuple(rng.randrange(2, n - 1) for _ in range(40))
+    for a in witnesses:
+        a %= n
+        if a in (0, 1, n - 1):
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _pollard_brent(n: int, rng: random.Random) -> int:
+    """Return a non-trivial factor of composite odd ``n`` (Brent 1980)."""
+    if n % 2 == 0:
+        return 2
+    while True:
+        y = rng.randrange(1, n)
+        c = rng.randrange(1, n)
+        m = 128
+        g = r = q = 1
+        x = ys = y
+        while g == 1:
+            x = y
+            for _ in range(r):
+                y = (y * y + c) % n
+            k = 0
+            while k < r and g == 1:
+                ys = y
+                for _ in range(min(m, r - k)):
+                    y = (y * y + c) % n
+                    q = q * abs(x - y) % n
+                g = math.gcd(q, n)
+                k += m
+            r *= 2
+        if g == n:
+            g = 1
+            while g == 1:
+                ys = (ys * ys + c) % n
+                g = math.gcd(abs(x - ys), n)
+        if g != n:
+            return g
+
+
+def factorize_int(n: int) -> dict[int, int]:
+    """Full prime factorization of ``n >= 1`` as ``{prime: exponent}``.
+
+    >>> factorize_int(2**28 - 1) == {3: 1, 5: 1, 29: 1, 43: 1, 113: 1, 127: 1}
+    True
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    factors: dict[int, int] = {}
+    for p in _SMALL_PRIMES:
+        while n % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            n //= p
+    if n == 1:
+        return factors
+    rng = random.Random(0x5EED)
+    stack = [n]
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            factors[m] = factors.get(m, 0) + 1
+            continue
+        d = _pollard_brent(m, rng)
+        stack.append(d)
+        stack.append(m // d)
+    return factors
+
+
+def prime_factors(n: int) -> list[int]:
+    """Sorted distinct prime factors of ``n``."""
+    return sorted(factorize_int(n))
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of ``n``, sorted ascending."""
+    divs = [1]
+    for p, e in factorize_int(n).items():
+        divs = [d * p**k for d in divs for k in range(e + 1)]
+    return sorted(divs)
+
+
+def moebius(n: int) -> int:
+    """Moebius function: 0 if ``n`` has a squared prime factor, else
+    ``(-1)**(number of prime factors)``."""
+    mu = 1
+    for _, e in factorize_int(n).items():
+        if e > 1:
+            return 0
+        mu = -mu
+    return mu

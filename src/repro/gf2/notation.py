@@ -1,0 +1,183 @@
+"""Polynomial notation conversions.
+
+The paper writes a degree-32 CRC polynomial as a 32-bit hex number with
+an *implicit +1 term*: bit ``i`` of the hex value is the coefficient of
+``x**(i+1)`` and the ``x**32`` coefficient occupies bit 31.  For example
+IEEE 802.3's generator
+
+    x^32+x^26+x^23+x^22+x^16+x^12+x^11+x^10+x^8+x^7+x^5+x^4+x^2+x+1
+
+is written ``0x82608EDB`` in the paper but ``0x04C11DB7`` in the usual
+MSB-first convention (implicit ``x**32``, explicit ``+1``) and
+``0xEDB88320`` in the reflected (LSB-first) convention used by
+software table implementations.
+
+This module converts between all of these and the full integer
+encoding used everywhere else in the library (bit ``i`` == coefficient
+of ``x**i``; the 802.3 generator is ``0x104C11DB7``).
+
+It also renders the paper's factorization-class signatures such as
+``{1,3,28}``.
+"""
+
+from __future__ import annotations
+
+from repro.gf2.poly import degree, reciprocal
+from repro.gf2.factorize import factor_degrees, factorize
+
+
+def koopman_to_full(k: int, width: int = 32) -> int:
+    """Convert the paper's implicit-+1 representation to a full
+    polynomial encoding.
+
+    ``k`` must have bit ``width-1`` set (the ``x**width`` term).  The
+    result always has both the ``x**width`` and constant terms set.
+
+    >>> hex(koopman_to_full(0x82608EDB))
+    '0x104c11db7'
+    >>> hex(koopman_to_full(0xBA0DC66B))
+    '0x1741b8cd7'
+    """
+    if not 0 < k < (1 << width):
+        raise ValueError(f"representation {k:#x} does not fit in {width} bits")
+    if not k >> (width - 1) & 1:
+        raise ValueError(
+            f"{k:#x} lacks the x^{width} term (top bit) required of a "
+            f"{width}-bit CRC polynomial in implicit-+1 notation"
+        )
+    return (k << 1) | 1
+
+
+def full_to_koopman(p: int, width: int | None = None) -> int:
+    """Inverse of :func:`koopman_to_full`.
+
+    >>> hex(full_to_koopman(0x104C11DB7))
+    '0x82608edb'
+    """
+    d = degree(p)
+    if width is not None and d != width:
+        raise ValueError(f"polynomial has degree {d}, expected {width}")
+    if p & 1 == 0:
+        raise ValueError(
+            "polynomial lacks the +1 term; it has no implicit-+1 representation"
+        )
+    return p >> 1
+
+
+def full_to_normal(p: int, width: int | None = None) -> int:
+    """Conventional MSB-first representation (implicit ``x**width``).
+
+    >>> hex(full_to_normal(0x104C11DB7))
+    '0x4c11db7'
+    """
+    d = degree(p)
+    if width is not None and d != width:
+        raise ValueError(f"polynomial has degree {d}, expected {width}")
+    return p & ((1 << d) - 1)
+
+
+def normal_to_full(n: int, width: int) -> int:
+    """Convert MSB-first (implicit top term) representation to full.
+
+    >>> hex(normal_to_full(0x4C11DB7, 32))
+    '0x104c11db7'
+    """
+    if n >> width:
+        raise ValueError(f"{n:#x} does not fit in {width} bits")
+    return n | (1 << width)
+
+
+def full_to_reflected(p: int, width: int | None = None) -> int:
+    """Reflected (LSB-first) representation, as used by table-driven
+    software CRCs: bit-reverse of the normal representation.
+
+    >>> hex(full_to_reflected(0x104C11DB7))
+    '0xedb88320'
+    """
+    d = degree(p)
+    if width is not None and d != width:
+        raise ValueError(f"polynomial has degree {d}, expected {width}")
+    n = full_to_normal(p)
+    return int(format(n, f"0{d}b")[::-1], 2)
+
+
+def exponents(p: int) -> list[int]:
+    """Exponents with non-zero coefficients, descending.
+
+    >>> exponents(0b1011)
+    [3, 1, 0]
+    """
+    return [i for i in range(degree(p), -1, -1) if (p >> i) & 1]
+
+
+def from_exponents(exps: list[int]) -> int:
+    """Build a polynomial from a list of exponents.
+
+    >>> hex(from_exponents([32, 26, 23, 22, 16, 12, 11, 10, 8, 7, 5, 4, 2, 1, 0]))
+    '0x104c11db7'
+    """
+    p = 0
+    for e in exps:
+        if e < 0:
+            raise ValueError("negative exponent")
+        if (p >> e) & 1:
+            raise ValueError(f"duplicate exponent {e}")
+        p |= 1 << e
+    return p
+
+
+def poly_str(p: int) -> str:
+    """Human-readable polynomial, matching the paper's style.
+
+    >>> poly_str(0b1011)
+    'x^3 + x + 1'
+    """
+    if p == 0:
+        return "0"
+    terms = []
+    for e in exponents(p):
+        if e == 0:
+            terms.append("1")
+        elif e == 1:
+            terms.append("x")
+        else:
+            terms.append(f"x^{e}")
+    return " + ".join(terms)
+
+
+def class_signature(p: int) -> tuple[int, ...]:
+    """Factorization-class signature: the multiset of irreducible-factor
+    degrees, ascending, as a tuple usable as a dict key.
+
+    >>> class_signature(koopman_to_full(0xBA0DC66B))
+    (1, 3, 28)
+    """
+    return tuple(factor_degrees(p))
+
+
+def class_signature_str(p: int) -> str:
+    """The paper's ``{d1,..,dk}`` rendering of the class signature.
+
+    >>> class_signature_str(koopman_to_full(0xBA0DC66B))
+    '{1,3,28}'
+    """
+    return "{" + ",".join(str(d) for d in class_signature(p)) + "}"
+
+
+def factor_strs(p: int) -> list[str]:
+    """Render each irreducible factor (with multiplicity expanded) as a
+    polynomial string -- e.g. the paper's
+    ``(x+1)(x^3+x^2+1)(x^28+...+1)`` for 0xBA0DC66B."""
+    out = []
+    for f, mult in factorize(p):
+        out.extend([poly_str(f)] * mult)
+    return out
+
+
+def reciprocal_koopman(k: int, width: int = 32) -> int:
+    """Implicit-+1 representation of the reciprocal polynomial.
+
+    Reciprocal pairs have identical weight distributions; the search
+    engine canonicalizes on ``min(poly, reciprocal)``.
+    """
+    return full_to_koopman(reciprocal(koopman_to_full(k, width)), width)

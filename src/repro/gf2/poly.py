@@ -1,0 +1,209 @@
+"""Core arithmetic in GF(2)[x] on integer-encoded polynomials.
+
+A polynomial is a non-negative Python ``int`` whose bit ``i`` is the
+coefficient of ``x**i``.  Addition is XOR, so polynomials form a vector
+space over GF(2); multiplication is carry-less.  These operations are
+exact at any degree thanks to Python's big integers.
+
+The zero polynomial is ``0`` and has degree ``-1`` by convention.
+"""
+
+from __future__ import annotations
+
+
+def degree(p: int) -> int:
+    """Return the degree of ``p``, or ``-1`` for the zero polynomial.
+
+    >>> degree(0b1011)  # x^3 + x + 1
+    3
+    >>> degree(1)
+    0
+    >>> degree(0)
+    -1
+    """
+    return p.bit_length() - 1
+
+
+def gf2_add(a: int, b: int) -> int:
+    """Add (equivalently, subtract) two polynomials over GF(2).
+
+    GF(2) addition of coefficients is XOR, so polynomial addition is a
+    bitwise XOR of the encodings.
+    """
+    return a ^ b
+
+
+def gf2_mul(a: int, b: int) -> int:
+    """Carry-less (polynomial) product of ``a`` and ``b``.
+
+    Runs in O(weight(a)) big-integer shifts; fine for the degrees this
+    project handles (a few hundred at most outside of tests).
+
+    >>> gf2_mul(0b11, 0b11)  # (x+1)^2 == x^2 + 1 over GF(2)
+    5
+    """
+    if a == 0 or b == 0:
+        return 0
+    # Iterate over the set bits of the sparser operand.
+    if a.bit_count() > b.bit_count():
+        a, b = b, a
+    result = 0
+    while a:
+        low = a & -a
+        result ^= b << (low.bit_length() - 1)
+        a ^= low
+    return result
+
+
+def gf2_divmod(a: int, b: int) -> tuple[int, int]:
+    """Return ``(quotient, remainder)`` of polynomial division ``a / b``.
+
+    Raises ``ZeroDivisionError`` if ``b`` is the zero polynomial.
+
+    The invariant ``a == gf2_add(gf2_mul(quotient, b), remainder)`` and
+    ``degree(remainder) < degree(b)`` always holds.
+    """
+    if b == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    db = degree(b)
+    quotient = 0
+    remainder = a
+    while True:
+        shift = degree(remainder) - db
+        if shift < 0:
+            return quotient, remainder
+        quotient |= 1 << shift
+        remainder ^= b << shift
+
+
+def gf2_mod(a: int, b: int) -> int:
+    """Return ``a mod b`` in GF(2)[x]."""
+    if b == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    db = degree(b)
+    while True:
+        shift = degree(a) - db
+        if shift < 0:
+            return a
+        a ^= b << shift
+
+
+def gf2_gcd(a: int, b: int) -> int:
+    """Greatest common divisor of two polynomials (monic; GF(2) polys
+    are automatically monic so no normalization is needed).
+
+    >>> gf2_gcd(0b101, 0b11)  # gcd(x^2+1, x+1) == x+1
+    3
+    """
+    while b:
+        a, b = b, gf2_mod(a, b)
+    return a
+
+
+def gf2_mulmod(a: int, b: int, m: int) -> int:
+    """Return ``(a * b) mod m`` without materializing huge intermediates
+    beyond ``degree(a) + degree(b)``."""
+    return gf2_mod(gf2_mul(a, b), m)
+
+
+def gf2_powmod(base: int, exp: int, m: int) -> int:
+    """Return ``base**exp mod m`` by square-and-multiply.
+
+    ``exp`` is an ordinary non-negative integer (repetition count), not
+    a polynomial.
+    """
+    if exp < 0:
+        raise ValueError("negative exponent")
+    result = gf2_mod(1, m)
+    base = gf2_mod(base, m)
+    while exp:
+        if exp & 1:
+            result = gf2_mulmod(result, base, m)
+        base = gf2_mulmod(base, base, m)
+        exp >>= 1
+    return result
+
+
+def x_pow_mod(exp: int, m: int) -> int:
+    """Return ``x**exp mod m`` -- the syndrome of a single bit error at
+    position ``exp``.
+
+    This is the workhorse of order computation (HD=2 breakpoints): the
+    first undetectable 2-bit error spans exactly ``order_of_x(m)`` bit
+    positions.
+    """
+    return gf2_powmod(0b10, exp, m)
+
+
+def gf2_sqrt(p: int) -> int:
+    """Square root of a perfect-square polynomial over GF(2).
+
+    Over GF(2), ``q(x)**2 == q(x**2)``; a perfect square therefore has
+    coefficients only at even exponents, and its root is obtained by
+    compressing those even-position bits.  Raises ``ValueError`` if
+    ``p`` has any odd-exponent coefficient.
+    """
+    root = 0
+    i = 0
+    while p:
+        if p & 1:
+            root |= 1 << i
+        if p & 2:
+            raise ValueError("polynomial is not a perfect square")
+        p >>= 2
+        i += 1
+    return root
+
+
+def derivative(p: int) -> int:
+    """Formal derivative of ``p`` over GF(2).
+
+    The derivative of ``x**i`` is ``i * x**(i-1)``, and ``i`` reduces
+    mod 2: even-exponent terms vanish, odd-exponent terms shift down.
+    """
+    if p == 0:
+        return 0
+    # Keep odd-exponent coefficients, shifted down one position.
+    mask = int("10" * ((p.bit_length() + 1) // 2), 2)
+    return (p & mask) >> 1
+
+
+def reciprocal(p: int) -> int:
+    """Return the reciprocal polynomial ``x**deg(p) * p(1/x)``.
+
+    The encoding is simply the bit-reversal of ``p`` over ``deg(p)+1``
+    bits.  Reciprocal pairs have identical error-detection weight
+    distributions (Peterson & Weldon), which the paper exploits to
+    halve the search space.
+
+    >>> hex(reciprocal(0x104C11DB7))  # CRC-32 <-> its reciprocal
+    '0x1db710641'
+    """
+    if p == 0:
+        return 0
+    return int(format(p, "b")[::-1], 2)
+
+
+def is_palindrome(p: int) -> bool:
+    """True if ``p`` is self-reciprocal (a bit-palindrome).
+
+    Palindromic polynomials are their own reciprocal and therefore do
+    not pair off during reciprocal deduplication -- the reason the
+    32-bit search space is "a few more than 2**30" candidates.
+    """
+    return p == reciprocal(p)
+
+
+def evaluate_at_one(p: int) -> int:
+    """Evaluate ``p(1)`` over GF(2): the parity of the coefficient count.
+
+    ``p(1) == 0`` iff ``(x+1)`` divides ``p`` -- the paper's parity
+    property (all polynomials with HD=6 at MTU length turn out to be
+    divisible by ``x+1``).
+    """
+    return p.bit_count() & 1
+
+
+def divisible_by_x_plus_1(p: int) -> bool:
+    """True iff ``(x+1)`` divides ``p`` (even number of non-zero terms)."""
+    return p.bit_count() % 2 == 0

@@ -1,0 +1,190 @@
+"""An ergonomic polynomial class over GF(2).
+
+The computational core of this library works on raw integers for
+speed; :class:`GF2Poly` wraps them with operator overloading for
+interactive use and readable application code::
+
+    >>> from repro.gf2.ring import GF2Poly
+    >>> g = GF2Poly.from_exponents([3, 1, 0])     # x^3 + x + 1
+    >>> x = GF2Poly.x()
+    >>> (x**3 + x + GF2Poly.one()) == g
+    True
+    >>> (g * g).degree
+    6
+    >>> divmod(x**5, g)
+    (GF2Poly('x^2 + 1'), GF2Poly('x^2 + x + 1'))
+
+Instances are immutable and hashable; all arithmetic delegates to
+:mod:`repro.gf2.poly`.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+from repro.gf2 import poly as _p
+from repro.gf2.notation import exponents, from_exponents, poly_str
+
+
+@total_ordering
+class GF2Poly:
+    """An immutable polynomial over GF(2).
+
+    Ordering is by integer encoding (degree-then-lexicographic on
+    coefficients), which makes sorted containers deterministic.
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: int) -> None:
+        if bits < 0:
+            raise ValueError("polynomial encoding must be non-negative")
+        object.__setattr__(self, "_bits", bits)
+
+    def __setattr__(self, *_args) -> None:
+        raise AttributeError("GF2Poly is immutable")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "GF2Poly":
+        return cls(0)
+
+    @classmethod
+    def one(cls) -> "GF2Poly":
+        return cls(1)
+
+    @classmethod
+    def x(cls) -> "GF2Poly":
+        return cls(0b10)
+
+    @classmethod
+    def from_exponents(cls, exps: list[int]) -> "GF2Poly":
+        """Build from a list of exponents with non-zero coefficients."""
+        return cls(from_exponents(exps))
+
+    @classmethod
+    def from_koopman(cls, value: int, width: int = 32) -> "GF2Poly":
+        """Build from the paper's implicit-+1 hex notation."""
+        from repro.gf2.notation import koopman_to_full
+
+        return cls(koopman_to_full(value, width))
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """Raw integer encoding (bit i = coefficient of x^i)."""
+        return self._bits
+
+    @property
+    def degree(self) -> int:
+        return _p.degree(self._bits)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-zero coefficients."""
+        return self._bits.bit_count()
+
+    @property
+    def exponents(self) -> list[int]:
+        return exponents(self._bits)
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other: "GF2Poly") -> "GF2Poly":
+        return GF2Poly(_p.gf2_add(self._bits, other._bits))
+
+    __sub__ = __add__  # characteristic 2
+
+    def __mul__(self, other: "GF2Poly") -> "GF2Poly":
+        return GF2Poly(_p.gf2_mul(self._bits, other._bits))
+
+    def __divmod__(self, other: "GF2Poly") -> tuple["GF2Poly", "GF2Poly"]:
+        q, r = _p.gf2_divmod(self._bits, other._bits)
+        return GF2Poly(q), GF2Poly(r)
+
+    def __floordiv__(self, other: "GF2Poly") -> "GF2Poly":
+        return divmod(self, other)[0]
+
+    def __mod__(self, other: "GF2Poly") -> "GF2Poly":
+        return GF2Poly(_p.gf2_mod(self._bits, other._bits))
+
+    def __pow__(self, exp: int) -> "GF2Poly":
+        if exp < 0:
+            raise ValueError("negative exponent")
+        result = GF2Poly.one()
+        base = self
+        while exp:
+            if exp & 1:
+                result = result * base
+            base = base * base
+            exp >>= 1
+        return result
+
+    def pow_mod(self, exp: int, modulus: "GF2Poly") -> "GF2Poly":
+        return GF2Poly(_p.gf2_powmod(self._bits, exp, modulus._bits))
+
+    def gcd(self, other: "GF2Poly") -> "GF2Poly":
+        return GF2Poly(_p.gf2_gcd(self._bits, other._bits))
+
+    def reciprocal(self) -> "GF2Poly":
+        return GF2Poly(_p.reciprocal(self._bits))
+
+    def derivative(self) -> "GF2Poly":
+        return GF2Poly(_p.derivative(self._bits))
+
+    # -- predicates & analysis -------------------------------------------
+
+    def is_irreducible(self) -> bool:
+        from repro.gf2.irreducible import is_irreducible
+
+        return is_irreducible(self._bits)
+
+    def is_primitive(self) -> bool:
+        from repro.gf2.order import is_primitive
+
+        return is_primitive(self._bits)
+
+    def factor(self) -> list[tuple["GF2Poly", int]]:
+        from repro.gf2.factorize import factorize
+
+        return [(GF2Poly(f), m) for f, m in factorize(self._bits)]
+
+    def order_of_x(self) -> int:
+        from repro.gf2.order import order_of_x
+
+        return order_of_x(self._bits)
+
+    def divides(self, other: "GF2Poly") -> bool:
+        if self._bits == 0:
+            return other._bits == 0
+        return _p.gf2_mod(other._bits, self._bits) == 0
+
+    def __call__(self, value: int) -> int:
+        """Evaluate at a GF(2) point (0 or 1)."""
+        if value == 0:
+            return self._bits & 1
+        if value == 1:
+            return self._bits.bit_count() & 1
+        raise ValueError("GF(2) has only the points 0 and 1")
+
+    # -- dunder plumbing --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GF2Poly) and self._bits == other._bits
+
+    def __lt__(self, other: "GF2Poly") -> bool:
+        return self._bits < other._bits
+
+    def __hash__(self) -> int:
+        return hash(("GF2Poly", self._bits))
+
+    def __bool__(self) -> bool:
+        return self._bits != 0
+
+    def __str__(self) -> str:
+        return poly_str(self._bits)
+
+    def __repr__(self) -> str:
+        return f"GF2Poly('{poly_str(self._bits)}')"

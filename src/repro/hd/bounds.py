@@ -1,0 +1,101 @@
+"""Theoretical limits on achievable Hamming distance.
+
+The paper's abstract asserts that for an Ethernet MTU "the theoretical
+maximum is detection of five independent bit errors (HD=6)".  That is
+the **Hamming (sphere-packing) bound** applied to a shortened code
+with 32 check bits: the 2^r syndrome values must be able to
+distinguish all correctable error patterns,
+
+    sum_{i=0}^{t} C(n + r, i)  <=  2^r,      t = floor((d-1)/2),
+
+plus the parity refinement for even distances (an even-distance code
+can additionally detect one more error beyond what it corrects).
+This module computes the bound, so the paper's statement becomes a
+checkable corollary rather than folklore -- and the gap between the
+bound and what the exhaustive search actually found (no polynomial
+with HD=6 beyond 32,738 bits) is measurable.
+
+Also included: the Singleton bound (d <= r + 1, binding only at tiny
+lengths) -- together they cap Table 1's top rows.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def hamming_bound_ok(r: int, data_word_bits: int, d: int) -> bool:
+    """Can a code with ``r`` check bits and the given data-word length
+    possibly have minimum distance ``d``?  (Necessary condition only.)
+
+    Uses the sphere-packing bound on ``t = floor((d-1)/2)``-error
+    correction; for even ``d`` the standard refinement applies the
+    bound for ``d - 1`` to the code shortened by one position (an even
+    code extends an odd one).
+    """
+    if d < 1:
+        raise ValueError("distance must be positive")
+    n_total = data_word_bits + r
+    if d == 1:
+        return True
+    if d % 2 == 0:
+        # even-distance code of length n <=> odd-distance d-1 code of
+        # length n-1 (puncture/extend duality)
+        return hamming_bound_ok(r, data_word_bits - 1, d - 1) if data_word_bits >= 1 else True
+    t = (d - 1) // 2
+    volume = sum(comb(n_total, i) for i in range(t + 1))
+    return volume <= (1 << r)
+
+
+def singleton_bound_ok(r: int, d: int) -> bool:
+    """Singleton bound: ``d <= r + 1`` for any code with r check bits."""
+    return d <= r + 1
+
+
+def max_theoretical_hd(r: int, data_word_bits: int, *, hd_cap: int = 64) -> int:
+    """Largest ``d`` permitted by both bounds at this length.
+
+    >>> max_theoretical_hd(32, 12112)    # the abstract's "HD=6 is possible"
+    6
+    """
+    best = 1
+    for d in range(2, min(hd_cap, r + 1) + 1):
+        if hamming_bound_ok(r, data_word_bits, d) and singleton_bound_ok(r, d):
+            best = d
+    return best
+
+
+def max_length_for_theoretical_hd(r: int, d: int, *, n_cap: int = 1 << 34) -> int:
+    """Largest data-word length at which the bounds still allow
+    minimum distance ``d`` (binary search on the monotone bound)."""
+    if not singleton_bound_ok(r, d):
+        return 0
+    lo, hi = 0, n_cap
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if hamming_bound_ok(r, mid, d):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def bound_vs_achieved(r: int = 32) -> list[tuple[int, int, int | None]]:
+    """The paper's empirical global limits against the sphere-packing
+    ceiling: rows of ``(hd, bound_max_length, search_max_length)``.
+
+    The search column carries the §4.2 inverse-filtering results: no
+    32-bit polynomial achieves HD=6 at or above 32,739 data-word bits,
+    none HD=5 at or above 65,507; HD=4's limit is the best order
+    (0x8F6E37A0's 2^31 - 33).  ``None`` marks rows the paper did not
+    bound globally.
+    """
+    search_limits: dict[int, int | None] = {
+        6: 32738, 5: 65506, 4: 2**31 - 33, 3: 2**32 - 33,
+    }
+    rows = []
+    for hd in (6, 5, 4, 3):
+        rows.append(
+            (hd, max_length_for_theoretical_hd(r, hd), search_limits.get(hd))
+        )
+    return rows

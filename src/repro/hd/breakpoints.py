@@ -1,0 +1,394 @@
+"""HD breakpoints: where a polynomial's Hamming distance degrades.
+
+Table 1 of the paper is a breakpoint table: for each polynomial, the
+ranges of data-word lengths over which each HD holds.  The natural
+quantity is the *first failure length*
+
+    ``f(k) = min { n : some weight-k error is undetected at length n }``
+
+because ``HD(n) = min { k : f(k) <= n }``.  This module computes
+``f(k)`` exactly using the paper's own search strategy -- probing at
+increasing lengths until the breakpoint is straddled (paper §4.1's
+"filtering with increasing lengths") -- and then, instead of the
+paper's binary subdivision, extracts the exact breakpoint from a
+single collect-all scan (:func:`repro.hd.mitm.minimal_codeword_span`).
+
+Inverse filtering (the paper's tool for proving that *no* polynomial
+achieves an HD at a length) appears here as :func:`refute_hd_at`,
+which produces a concrete undetected-error witness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.gf2.poly import degree, divisible_by_x_plus_1
+from repro.gf2.order import order_of_x
+from repro.hd.cost import (
+    DEFAULT_MEM_ELEMS,
+    DEFAULT_STREAM_ELEMS,
+    EnvelopeError,
+)
+from repro.hd.mitm import (
+    exists_weight_k,
+    find_witness,
+    minimal_codeword_span,
+    windowed_witness,
+)
+from repro.hd.syndromes import syndrome_table
+
+
+@dataclass(frozen=True)
+class FirstFailure:
+    """Outcome of a first-failure search for one weight.
+
+    ``n`` -- the exact first failing data-word length, or ``None``.
+    ``cleared`` -- when ``n`` is None, every length through ``cleared``
+    is *verified* failure-free (``cleared == n_max`` for a complete
+    scan; smaller when the work envelope capped the probe).
+    ``capped`` -- True when the envelope, not ``n_max``, ended the
+    search; ``None`` then means "unknown beyond ``cleared``", not
+    "never".
+    """
+
+    n: int | None
+    cleared: int
+    capped: bool = False
+
+
+def first_failure_detailed(
+    g: int,
+    k: int,
+    *,
+    n_max: int,
+    exploit_parity: bool = True,
+    mem_elems: int = DEFAULT_MEM_ELEMS,
+    stream_elems: int = DEFAULT_STREAM_ELEMS,
+) -> FirstFailure:
+    """Exact first-failure search with explicit envelope accounting.
+
+    ``k == 2`` comes from the order of ``x`` (no search); odd ``k`` for
+    (x+1)-divisible generators never fails (parity theorem; the
+    shortcut can be disabled for validation runs).
+    """
+    r = degree(g)
+    if k < 2:
+        raise ValueError("weights are defined for k >= 2")
+    if exploit_parity and k % 2 == 1 and divisible_by_x_plus_1(g):
+        return FirstFailure(None, n_max)
+    if k == 2:
+        n = order_of_x(g) + 1 - r
+        return FirstFailure(n if n <= n_max else None, n_max)
+    n_limit = n_max + r
+    # Increasing-length probes until a codeword appears, never
+    # exceeding the largest window the work envelope affords (high
+    # weights cap early; they never bind the HD in practice, and the
+    # capped scan still clears as much length as it can).  Each probe
+    # is a full collect-all span scan: when it finds anything, the
+    # minimal span -- hence the exact first-failure length -- is
+    # already known, no follow-up pass needed.  Span scans verify
+    # every hit, so this entry point is safe without the ascending-k
+    # precondition (degenerate MITM matches are rejected).
+    from repro.hd.cost import max_affordable_window
+
+    affordable = max_affordable_window(k, mem_elems, stream_elems)
+    # High weights fail (if at all) at tiny lengths and their checks
+    # grow combinatorially with the window, so start small and grow
+    # gently; low weights start at the paper's 64-bit screen and
+    # double.
+    if k >= 12:
+        window = max(2 * k, r + 8)
+        growth = 1.25
+    elif k >= 9:
+        window = max(2 * k, r + 8)
+        growth = 1.5
+    else:
+        window = max(64, 2 * k, r + 2)
+        growth = 2.0
+    cleared = 0
+    while True:
+        capped_here = window >= min(affordable, n_limit) and affordable < n_limit
+        window = min(window, affordable, n_limit)
+        if window - r <= cleared and cleared > 0:
+            # no new ground affordable: cap
+            return FirstFailure(None, cleared, capped=True)
+        try:
+            span = minimal_codeword_span(
+                g, window, k, mem_elems=mem_elems, stream_elems=stream_elems
+            )
+        except EnvelopeError:  # pragma: no cover - affordable bound guards this
+            return FirstFailure(None, cleared, capped=True)
+        if span is not None:
+            n = span - r
+            if n <= n_max:
+                return FirstFailure(n, n - 1)
+            return FirstFailure(None, n_max)
+        cleared = max(window - r, 0)
+        if window >= n_limit:
+            return FirstFailure(None, min(cleared, n_max))
+        if capped_here:
+            return FirstFailure(None, cleared, capped=True)
+        window = int(window * growth) + 1
+
+
+def first_failure_length(
+    g: int,
+    k: int,
+    *,
+    n_max: int,
+    exploit_parity: bool = True,
+    mem_elems: int = DEFAULT_MEM_ELEMS,
+    stream_elems: int = DEFAULT_STREAM_ELEMS,
+) -> int | None:
+    """Exact smallest data-word length at which some weight-``k`` error
+    goes undetected, or ``None`` if that never happens through
+    ``n_max``.  Raises :class:`EnvelopeError` rather than silently
+    capping (use :func:`first_failure_detailed` for capped scans).
+
+    >>> from repro.gf2.notation import koopman_to_full
+    >>> first_failure_length(koopman_to_full(0x82608EDB), 4, n_max=4000)
+    2975
+    """
+    out = first_failure_detailed(
+        g, k,
+        n_max=n_max,
+        exploit_parity=exploit_parity,
+        mem_elems=mem_elems,
+        stream_elems=stream_elems,
+    )
+    if out.capped:
+        raise EnvelopeError(
+            f"weight-{k} first-failure search capped at {out.cleared} "
+            f"(< n_max={n_max}) by the work envelope"
+        )
+    return out.n
+
+
+@dataclass
+class BreakpointTable:
+    """Exact HD bands for one polynomial -- one column of Table 1.
+
+    ``first_failure[k]`` maps each weight to its first failing length
+    (``None`` = no failure found).  ``cleared[k]`` is the length
+    through which weight ``k`` is *verified* failure-free when no
+    failure was found -- equal to ``n_max`` for complete scans,
+    smaller when the work envelope capped a high-weight probe (those
+    cells never bind the HD anyway, but :meth:`hd_at` refuses to
+    overstate the sentinel band).  ``bands`` lists ``(hd, n_lo, n_hi)``
+    with ``n_hi = None`` for the final open band.
+    """
+
+    g: int
+    n_max: int
+    first_failure: dict[int, int | None] = field(default_factory=dict)
+    cleared: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def bands(self) -> list[tuple[int, int, int | None]]:
+        """HD bands ``(hd, n_lo, n_hi)`` covering ``r+1 .. n_max``.
+
+        The minimum representable data-word length is 1; bands start at
+        the smallest length where the HD is defined by our table
+        (lengths below the smallest recorded failure get the sentinel
+        HD ``max(k)+1``, rendered by callers as ">=k+1").
+        """
+        fails = sorted(
+            (n, k) for k, n in self.first_failure.items() if n is not None
+        )
+        bands: list[tuple[int, int, int | None]] = []
+        pos = 1
+        best = max(self.first_failure) + 1  # "better than all tested k"
+        for n, k in fails:
+            if k >= best:
+                continue  # a later, higher-weight failure never lowers HD
+            if n > pos:
+                bands.append((best, pos, n - 1))
+            pos = n
+            best = k
+        bands.append((best, pos, None))
+        return bands
+
+    def _cleared_for(self, k: int) -> int:
+        return self.cleared.get(k, self.n_max)
+
+    def hd_at(self, n: int) -> int:
+        """HD at data-word length ``n`` (must be <= n_max).  Raises
+        :class:`EnvelopeError` if an envelope-capped weight could bind
+        at this length (never the case for the weights that matter in
+        practice, since low weights always complete)."""
+        if n > self.n_max:
+            raise ValueError(f"table only covers lengths through {self.n_max}")
+        best = max(self.first_failure) + 1
+        for k, fn in self.first_failure.items():
+            if fn is not None and fn <= n and k < best:
+                best = k
+        for k, fn in self.first_failure.items():
+            if k < best and fn is None and self._cleared_for(k) < n:
+                raise EnvelopeError(
+                    f"weight {k} only verified through {self._cleared_for(k)} "
+                    f"bits; HD at {n} cannot be stated exactly"
+                )
+        return best
+
+    def max_length_for(self, hd: int) -> int | None:
+        """Largest length *verified* to have HD >= hd: ``None`` if HD <
+        hd even at length 1, ``n_max`` when the guarantee extends
+        through the whole table.  Envelope-capped weights below ``hd``
+        conservatively clamp the answer to their cleared length."""
+        limit = self.n_max
+        for k, fn in self.first_failure.items():
+            if k >= hd:
+                continue
+            if fn is not None:
+                limit = min(limit, fn - 1)
+            else:
+                limit = min(limit, self._cleared_for(k))
+        if limit < 1:
+            return None
+        return limit
+
+
+def hd_breakpoint_table(
+    g: int,
+    *,
+    hd_max: int = 6,
+    n_max: int = 131072,
+    exploit_parity: bool = True,
+    mem_elems: int = DEFAULT_MEM_ELEMS,
+    stream_elems: int = DEFAULT_STREAM_ELEMS,
+) -> BreakpointTable:
+    """Compute a polynomial's exact breakpoint table (one Table 1
+    column) for weights ``2 .. hd_max`` through length ``n_max``.
+
+    Cost note: the expensive cells are weight-4 first-failures beyond
+    ~16K bits (minutes); everything else is seconds.  Choose ``hd_max``
+    / ``n_max`` to taste -- e.g. Figure 1 uses hd_max=8 with modest
+    lengths, the full Table 1 needs ``REPRO_FULL``-sized envelopes.
+    """
+    table = BreakpointTable(g=g, n_max=n_max)
+    for k in range(2, hd_max + 1):
+        out = first_failure_detailed(
+            g, k,
+            n_max=n_max,
+            exploit_parity=exploit_parity,
+            mem_elems=mem_elems,
+            stream_elems=stream_elems,
+        )
+        table.first_failure[k] = out.n
+        if out.n is None:
+            table.cleared[k] = out.cleared
+    return table
+
+
+def max_length_for_hd(
+    g: int,
+    hd: int,
+    *,
+    n_max: int = 131072,
+    exploit_parity: bool = True,
+    mem_elems: int = DEFAULT_MEM_ELEMS,
+    stream_elems: int = DEFAULT_STREAM_ELEMS,
+) -> int | None:
+    """Largest data-word length at which ``g`` still guarantees the
+    requested HD: ``min_k<hd f(k) - 1`` (None if unachievable even at
+    length 1; ``n_max`` if it holds through the whole range).
+
+    >>> from repro.gf2.notation import koopman_to_full
+    >>> max_length_for_hd(koopman_to_full(0x82608EDB), 5, n_max=4000)
+    2974
+    """
+    limit = n_max
+    for k in range(2, hd):
+        fn = first_failure_length(
+            g, k,
+            n_max=limit,
+            exploit_parity=exploit_parity,
+            mem_elems=mem_elems,
+            stream_elems=stream_elems,
+        )
+        if fn is not None:
+            limit = min(limit, fn - 1)
+            if limit < 1:
+                return None
+    return limit
+
+
+def refute_hd_at(
+    g: int,
+    hd: int,
+    data_word_bits: int,
+    *,
+    witness_window: int = 400,
+    mem_elems: int = DEFAULT_MEM_ELEMS,
+    stream_elems: int = DEFAULT_STREAM_ELEMS,
+) -> tuple[int, tuple[int, ...]] | None:
+    """Inverse filtering: try to *refute* "HD >= hd at this length" by
+    exhibiting an undetected error of weight < hd.
+
+    Returns ``(weight, positions)`` of a verified witness, or ``None``
+    if no such error exists (i.e. the HD claim stands -- exact).
+
+    This mirrors the paper's use of fast early-out runs at long
+    lengths to prove upper bounds on achievable HD: a witness is a
+    constructive proof that the HD is not achieved.
+    """
+    r = degree(g)
+    N = data_word_bits + r
+    order = order_of_x(g)
+    if order <= N - 1:
+        return 2, (0, order)
+    syn = syndrome_table(g, N)
+    for k in range(3, hd):
+        if k % 2 == 1 and divisible_by_x_plus_1(g):
+            continue
+        try:
+            witness = windowed_witness(
+                g, N, k, window=min(witness_window, N), syn=syn
+            )
+        except EnvelopeError:
+            witness = None
+        if witness is None:
+            if exists_weight_k(
+                g, N, k, syn=syn, mem_elems=mem_elems, stream_elems=stream_elems
+            ):
+                witness = find_witness(
+                    g, N, k, syn=syn, mem_elems=mem_elems, stream_elems=stream_elems
+                )
+        if witness is not None:
+            return k, witness
+    return None
+
+
+def increasing_length_filter(
+    candidates: list[int],
+    lengths: list[int],
+    hd_target: int,
+    *,
+    mem_elems: int = DEFAULT_MEM_ELEMS,
+    stream_elems: int = DEFAULT_STREAM_ELEMS,
+) -> tuple[list[int], list[tuple[int, int]]]:
+    """The paper's filter cascade: screen candidate polynomials for
+    "HD >= hd_target" at each length in ascending order, discarding
+    failures before moving to the (more expensive) next length.
+
+    Returns ``(survivors, stage_counts)`` where ``stage_counts`` is
+    ``[(length, survivors_after_stage), ...]`` -- the measurement the
+    §4.1 discussion is about (most candidates die cheaply at short
+    lengths).
+    """
+    lengths = sorted(lengths)
+    survivors = list(candidates)
+    stage_counts: list[tuple[int, int]] = []
+    for n in lengths:
+        still: list[int] = []
+        for g in survivors:
+            if refute_hd_at(
+                g, hd_target, n, mem_elems=mem_elems, stream_elems=stream_elems
+            ) is None:
+                still.append(g)
+        survivors = still
+        stage_counts.append((n, len(survivors)))
+        if not survivors:
+            break
+    return survivors, stage_counts

@@ -1,0 +1,100 @@
+"""Syndrome sequences ``r_i = x**i mod G``.
+
+An error pattern flipping bit positions ``P = {p1..pk}`` of a codeword
+is undetectable iff ``sum_{p in P} x**p`` is divisible by ``G`` --
+equivalently iff the XOR of the per-position syndromes ``r_p`` is zero
+(paper §3: undetectable errors are themselves codewords).  Every
+algorithm in this package therefore starts from the syndrome table.
+
+Positions follow the convention of :mod:`repro.crc.codeword`:
+position 0 is the last FCS bit, positions ``0..r-1`` are the FCS
+field, positions ``r..n+r-1`` are data bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf2.poly import degree, gf2_mod
+
+
+def syndrome_table(g: int, n_positions: int) -> np.ndarray:
+    """Return ``uint64`` array ``S`` with ``S[i] = x**i mod g``.
+
+    Requires ``degree(g) <= 64`` so remainders fit a machine word (any
+    CRC width through 64 bits -- the paper's r=32 comfortably, and
+    also the degree-64 *combined* generators of stacked link+app CRC
+    analysis).  Computed with the standard LFSR recurrence
+    ``r_{i+1} = (r_i << 1) ^ (g if top bit set)``.
+
+    >>> syndrome_table(0b1011, 4).tolist()   # x^3+x+1
+    [1, 2, 4, 3]
+    """
+    r = degree(g)
+    if not 1 <= r <= 64:
+        raise ValueError(f"generator degree {r} outside supported range 1..64")
+    if n_positions < 0:
+        raise ValueError("n_positions must be non-negative")
+    low = g & ((1 << r) - 1)  # generator without its top term
+    top = 1 << (r - 1)
+    out = np.empty(n_positions, dtype=np.uint64)
+    acc = 1
+    for i in range(n_positions):
+        out[i] = acc
+        if acc & top:
+            acc = ((acc ^ top) << 1) ^ low
+        else:
+            acc <<= 1
+    return out
+
+
+def extend_syndrome_table(g: int, table: np.ndarray, new_len: int) -> np.ndarray:
+    """Grow an existing syndrome table to ``new_len`` positions without
+    recomputing the prefix (used by increasing-length filtering)."""
+    old_len = len(table)
+    if new_len <= old_len:
+        return table[:new_len]
+    r = degree(g)
+    low = g & ((1 << r) - 1)
+    top = 1 << (r - 1)
+    out = np.empty(new_len, dtype=np.uint64)
+    out[:old_len] = table
+    acc = int(table[old_len - 1]) if old_len else 1
+    if old_len:
+        # advance one step past the last stored syndrome
+        if acc & top:
+            acc = ((acc ^ top) << 1) ^ low
+        else:
+            acc <<= 1
+    for i in range(old_len, new_len):
+        out[i] = acc
+        if acc & top:
+            acc = ((acc ^ top) << 1) ^ low
+        else:
+            acc <<= 1
+    return out
+
+
+def syndrome_of_positions(g: int, positions: list[int] | tuple[int, ...]) -> int:
+    """Exact (big-int) syndrome of an error pattern given by positions.
+
+    Independent of :func:`syndrome_table` -- used to re-verify every
+    witness the fast engines produce, and as the oracle in
+    property-based tests.
+
+    >>> syndrome_of_positions(0b1011, [0, 1, 3])  # x^3+x+1 itself
+    0
+    """
+    pattern = 0
+    for p in positions:
+        if p < 0:
+            raise ValueError("negative position")
+        pattern ^= 1 << p
+    return gf2_mod(pattern, g)
+
+
+def is_undetected_pattern(g: int, positions: list[int] | tuple[int, ...]) -> bool:
+    """True iff flipping exactly these codeword positions is an
+    undetectable error for generator ``g`` (i.e. the pattern is a
+    codeword)."""
+    return syndrome_of_positions(g, positions) == 0

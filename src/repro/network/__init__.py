@@ -1,0 +1,58 @@
+"""Network frame models and error simulation.
+
+The paper's motivation is concrete traffic: 40-byte acks, 512-byte
+data packets, Ethernet MTUs, multi-MTU iSCSI bursts and 9000-byte
+jumbo frames, all protected by a 32-bit FCS against a moderate bit
+error rate.  This package provides those workloads and the error
+processes:
+
+* :mod:`repro.network.frames` -- Ethernet / jumbo / iSCSI data-word
+  models with the paper's exact bit accounting (an MTU frame is a
+  12112-bit data word, a 12144-bit codeword).
+* :mod:`repro.network.errors` -- i.i.d. BER bit flips, burst errors
+  and fixed-weight error patterns, all as position sets so CRC
+  linearity applies.
+* :mod:`repro.network.montecarlo` -- undetected-error-probability
+  estimation, plus the analytic ``P_ud = sum W_k p^k (1-p)^(N-k)``
+  from exact weights; the two cross-validate (benchmark E9).
+"""
+
+from repro.network.frames import (
+    EthernetFrame,
+    IscsiPdu,
+    data_word_bits_for_payload,
+    MTU_DATA_WORD_BITS,
+    ACK_DATA_WORD_BITS,
+    DATA512_DATA_WORD_BITS,
+    JUMBO_DATA_WORD_BITS,
+)
+from repro.network.errors import (
+    BernoulliBitErrors,
+    BurstError,
+    FixedWeightErrors,
+    apply_error,
+)
+from repro.network.montecarlo import (
+    MonteCarloResult,
+    simulate_undetected,
+    analytic_pud,
+    detected_all_bursts,
+)
+
+__all__ = [
+    "EthernetFrame",
+    "IscsiPdu",
+    "data_word_bits_for_payload",
+    "MTU_DATA_WORD_BITS",
+    "ACK_DATA_WORD_BITS",
+    "DATA512_DATA_WORD_BITS",
+    "JUMBO_DATA_WORD_BITS",
+    "BernoulliBitErrors",
+    "BurstError",
+    "FixedWeightErrors",
+    "apply_error",
+    "MonteCarloResult",
+    "simulate_undetected",
+    "analytic_pud",
+    "detected_all_bursts",
+]

@@ -1,0 +1,127 @@
+"""Error processes over codeword bit positions.
+
+By CRC linearity (paper §3) an error's detectability depends only on
+*which* positions flip, never on the data -- so error models here
+produce position sets, and :func:`apply_error` exists mainly to let
+tests confirm that byte-level corruption of real frames agrees with
+the position-set model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class BernoulliBitErrors:
+    """Independent bit flips at a fixed bit error rate.
+
+    Sampling draws the flip count from the exact binomial and then
+    places the flips uniformly -- O(flips) per frame instead of
+    O(bits), which matters when simulating 10**7 mostly-clean frames
+    at moderate BER (the paper's "only a fraction of messages are
+    corrupted" operating point).
+    """
+
+    ber: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ber <= 1.0:
+            raise ValueError("BER must be a probability")
+        self._rng = random.Random(self.seed)
+
+    def sample(self, codeword_bits: int) -> tuple[int, ...]:
+        """Positions flipped in one transmission."""
+        flips = self._binomial(codeword_bits, self.ber)
+        if flips == 0:
+            return ()
+        return tuple(self._rng.sample(range(codeword_bits), flips))
+
+    def _binomial(self, n: int, p: float) -> int:
+        # Inverse-CDF would be exact but slow for large n; use the
+        # sum-of-Bernoullis shortcut only for tiny n, otherwise a
+        # normal/Poisson split adequate for simulation purposes.
+        if n * p < 50:
+            # Poisson approximation region / direct small-mean draw.
+            count = 0
+            threshold = self._rng.random()
+            # Direct inversion on the binomial CDF.
+            prob = (1 - p) ** n
+            cdf = prob
+            k = 0
+            while cdf < threshold and k < n:
+                k += 1
+                prob *= (n - k + 1) / k * (p / (1 - p))
+                cdf += prob
+            count = k
+            return count
+        mean = n * p
+        sd = (n * p * (1 - p)) ** 0.5
+        draw = int(round(self._rng.gauss(mean, sd)))
+        return min(max(draw, 0), n)
+
+
+@dataclass
+class BurstError:
+    """A contiguous error burst: ``length`` consecutive positions
+    starting at ``start``, with the first and last bits always flipped
+    (the conventional definition of burst length) and interior bits
+    flipped per ``interior_pattern``.
+
+    Any burst of length <= r is detected by any degree-r CRC --
+    the classical guarantee the paper notes "remains intact for all
+    the codes we consider"; ``tests/network`` verifies it
+    exhaustively for small widths.
+    """
+
+    start: int
+    length: int
+    interior_pattern: int = -1  # -1 = all ones
+
+    def positions(self) -> tuple[int, ...]:
+        if self.length < 1:
+            raise ValueError("burst length must be >= 1")
+        if self.length == 1:
+            return (self.start,)
+        pos = [self.start, self.start + self.length - 1]
+        for i in range(1, self.length - 1):
+            if self.interior_pattern == -1 or (self.interior_pattern >> (i - 1)) & 1:
+                pos.append(self.start + i)
+        return tuple(sorted(pos))
+
+
+@dataclass
+class FixedWeightErrors:
+    """Uniformly random error patterns of exactly ``weight`` bits --
+    the conditional distribution under which ``W_k / C(N, k)`` is the
+    undetected-error probability."""
+
+    weight: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise ValueError("weight must be >= 1")
+        self._rng = random.Random(self.seed)
+
+    def sample(self, codeword_bits: int) -> tuple[int, ...]:
+        return tuple(self._rng.sample(range(codeword_bits), self.weight))
+
+
+def apply_error(frame: bytes, positions: tuple[int, ...]) -> bytes:
+    """Flip the given bit positions of a serialized frame.
+
+    Position 0 is the last bit of the last byte (the final FCS bit on
+    the wire), matching the polynomial convention used everywhere in
+    :mod:`repro.hd`.
+    """
+    total_bits = len(frame) * 8
+    data = bytearray(frame)
+    for p in positions:
+        if not 0 <= p < total_bits:
+            raise ValueError(f"position {p} outside frame of {total_bits} bits")
+        byte_index = len(data) - 1 - (p // 8)
+        data[byte_index] ^= 1 << (p % 8)
+    return bytes(data)

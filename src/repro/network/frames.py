@@ -1,0 +1,131 @@
+"""Frame and data-word models with the paper's bit accounting.
+
+The paper's significant message lengths (Figure 1's vertical marks):
+
+* 40-byte acknowledgment packet: 400-bit data word ("including 80
+  bits of protocol overhead" -- 40 bytes of IP+TCP plus the 10-byte
+  link-level contribution the paper folds in).
+* 512-byte data packet (+40B headers): 4496-bit data word.
+* Ethernet MTU: 1500-byte payload + 14-byte MAC header = 1514 bytes
+  = 12112-bit data word; with the 32-bit FCS the codeword is 12144
+  bits.
+* Jumbo frame: 9000-byte payload + header = 72112-bit data word.
+
+These constants and the frame builders below keep that arithmetic in
+one place; tests pin the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crc.spec import CRCSpec
+from repro.crc.codeword import append_fcs, check_fcs
+
+MAC_HEADER_BYTES = 14       # dst(6) + src(6) + ethertype(2)
+MTU_PAYLOAD_BYTES = 1500
+JUMBO_PAYLOAD_BYTES = 9000
+
+#: The paper's canonical lengths, in data-word bits (CRC excluded).
+MTU_DATA_WORD_BITS = (MAC_HEADER_BYTES + MTU_PAYLOAD_BYTES) * 8      # 12112
+JUMBO_DATA_WORD_BITS = (MAC_HEADER_BYTES + JUMBO_PAYLOAD_BYTES) * 8  # 72112
+ACK_DATA_WORD_BITS = 400        # 40-byte ack + 80 bits protocol overhead
+DATA512_DATA_WORD_BITS = 4496   # 512 data bytes + 40 byte headers + overhead
+
+
+def data_word_bits_for_payload(payload_bytes: int) -> int:
+    """Ethernet data-word length (bits) for a given payload size.
+
+    >>> data_word_bits_for_payload(1500)
+    12112
+    >>> data_word_bits_for_payload(9000)
+    72112
+    """
+    if payload_bytes < 0:
+        raise ValueError("negative payload")
+    return (MAC_HEADER_BYTES + payload_bytes) * 8
+
+
+@dataclass
+class EthernetFrame:
+    """A minimal 802.3 frame: MAC header + payload + FCS.
+
+    The FCS is computed/checked with whatever spec is supplied --
+    the deployed CRC-32 by default, or any of the paper's candidate
+    polynomials in bare form for what-if studies.
+    """
+
+    dst: bytes
+    src: bytes
+    ethertype: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.dst) != 6 or len(self.src) != 6:
+            raise ValueError("MAC addresses are 6 bytes")
+        if not 0 <= self.ethertype < 0x10000:
+            raise ValueError("ethertype out of range")
+
+    @property
+    def data_word(self) -> bytes:
+        """Header + payload: the bytes the FCS covers."""
+        return self.dst + self.src + self.ethertype.to_bytes(2, "big") + self.payload
+
+    @property
+    def data_word_bits(self) -> int:
+        return len(self.data_word) * 8
+
+    def to_wire(self, spec: CRCSpec) -> bytes:
+        """Serialize with FCS appended."""
+        return append_fcs(spec, self.data_word)
+
+    @classmethod
+    def check_wire(cls, spec: CRCSpec, wire: bytes) -> bool:
+        """Receive-side FCS verification."""
+        return check_fcs(spec, wire)
+
+
+@dataclass
+class IscsiPdu:
+    """An iSCSI-style PDU: 48-byte Basic Header Segment plus a data
+    segment that may pack multiple MTUs' worth of storage data under a
+    single end-to-end CRC -- the scenario (§4.3) motivating a
+    polynomial with both HD=6 at MTU length and HD=4 far beyond 64K
+    bits."""
+
+    bhs: bytes = field(default=b"\x00" * 48)
+    data_segment: bytes = b""
+
+    def __post_init__(self) -> None:
+        if len(self.bhs) != 48:
+            raise ValueError("BHS is 48 bytes")
+
+    @property
+    def data_word(self) -> bytes:
+        return self.bhs + self.data_segment
+
+    @property
+    def data_word_bits(self) -> int:
+        return len(self.data_word) * 8
+
+    @classmethod
+    def packed_mtus(cls, mtus: int) -> "IscsiPdu":
+        """A PDU carrying ``mtus`` MTU payloads of storage data --
+        Figure 1's "2 MTU / 4 MTU / 8 MTU" marks as iSCSI workloads."""
+        return cls(data_segment=bytes(MTU_PAYLOAD_BYTES * mtus))
+
+    def to_wire(self, spec: CRCSpec) -> bytes:
+        return append_fcs(spec, self.data_word)
+
+
+def figure1_marks() -> dict[str, int]:
+    """The labeled x-axis marks of Figure 1, in data-word bits."""
+    return {
+        "40B ack packet": ACK_DATA_WORD_BITS,
+        "512+40B packet": DATA512_DATA_WORD_BITS,
+        "1 MTU": MTU_DATA_WORD_BITS,
+        "2 MTU": 2 * MTU_PAYLOAD_BYTES * 8 + MAC_HEADER_BYTES * 8,
+        "4 MTU": 4 * MTU_PAYLOAD_BYTES * 8 + MAC_HEADER_BYTES * 8,
+        "8 MTU": 8 * MTU_PAYLOAD_BYTES * 8 + MAC_HEADER_BYTES * 8,
+        "jumbo 9000B": JUMBO_DATA_WORD_BITS,
+    }

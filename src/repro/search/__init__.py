@@ -1,0 +1,58 @@
+"""Exhaustive CRC polynomial search (paper §4).
+
+The paper's contribution is not just the winning polynomials but the
+demonstration that the *entire* 32-bit design space can be screened by
+a filter cascade on commodity hardware.  This package implements that
+search, parameterized by CRC width:
+
+* :mod:`repro.search.space` -- candidate enumeration with the paper's
+  reciprocal-pair deduplication (2**r -> ~2**(r-2) candidates).
+* :mod:`repro.search.exhaustive` -- the filter-cascade driver: screen
+  at increasing lengths, confirm survivors exactly, monitor the §4.5
+  invariants throughout.
+* :mod:`repro.search.census` -- factorization-class census of
+  survivors (Table 2 machinery) and minimum-tap representative
+  selection (how 0x90022004 / 0x80108400 were found).
+* :mod:`repro.search.records` -- serializable result records so
+  campaigns can be checkpointed, distributed and merged
+  (:mod:`repro.dist`).
+
+At width 32 a full run remains a farm-scale campaign (the paper used
+~80 workstations for three months; see :mod:`repro.dist.farm` for the
+faithful cost model).  At widths 8-16 the identical code path runs
+exhaustively in seconds to minutes, which is how this reproduction
+validates the methodology end to end (the paper itself validated
+against exhaustive 8/16-bit searches, §4.5).
+"""
+
+from repro.search.space import (
+    candidate_count,
+    candidate_polys,
+    canonical,
+    canonical_candidates,
+    is_canonical,
+    index_to_poly,
+    poly_to_index,
+)
+from repro.search.exhaustive import SearchConfig, SearchResult, search_all, search_chunk
+from repro.search.census import ClassCensus, census_of, fewest_taps
+from repro.search.records import PolyRecord, CampaignRecord
+
+__all__ = [
+    "candidate_count",
+    "candidate_polys",
+    "canonical",
+    "canonical_candidates",
+    "is_canonical",
+    "index_to_poly",
+    "poly_to_index",
+    "SearchConfig",
+    "SearchResult",
+    "search_all",
+    "search_chunk",
+    "ClassCensus",
+    "census_of",
+    "fewest_taps",
+    "PolyRecord",
+    "CampaignRecord",
+]

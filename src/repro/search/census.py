@@ -1,0 +1,113 @@
+"""Factorization-class census of search survivors (Table 2 machinery).
+
+After the paper's cascade left 21,292 polynomials with HD=6 at MTU
+length, the survivors were grouped by irreducible-factorization class
+(Table 2: 658 of {1,1,30}, 448 of {1,3,28}, 9887 of {1,1,15,15}, ...),
+which exposed the headline structural finding: *every* survivor is
+divisible by (x+1).
+
+This module reproduces that analysis for any survivor set: class
+counting, the (x+1) law check, and minimum-coefficient representative
+selection (the paper's criterion for recommending 0x90022004 and
+0x80108400 as hardware-friendly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gf2.notation import class_signature, full_to_koopman
+from repro.gf2.poly import divisible_by_x_plus_1
+from repro.search.records import PolyRecord
+
+
+@dataclass
+class ClassCensus:
+    """Survivor counts grouped by factorization class.
+
+    ``classes`` maps signature tuples to the member polynomials; the
+    rendering in :mod:`repro.analysis.tables` turns this into the
+    paper's Table 2 layout.
+    """
+
+    total: int = 0
+    classes: dict[tuple[int, ...], list[int]] = field(default_factory=dict)
+
+    def add(self, poly: int) -> None:
+        sig = class_signature(poly)
+        self.classes.setdefault(sig, []).append(poly)
+        self.total += 1
+
+    @property
+    def counts(self) -> dict[tuple[int, ...], int]:
+        """Members per class, the Table 2 numbers."""
+        return {sig: len(members) for sig, members in self.classes.items()}
+
+    def all_divisible_by_x_plus_1(self) -> bool:
+        """The paper's §4.2 discovery, as a checkable predicate: does
+        every survivor carry the implicit parity bit?"""
+        return all(
+            divisible_by_x_plus_1(p)
+            for members in self.classes.values()
+            for p in members
+        )
+
+    def violators_of_x_plus_1(self) -> list[int]:
+        """Survivors *not* divisible by (x+1) -- expected empty for
+        HD>=6 censuses per the paper; meaningful for lower targets."""
+        return [
+            p
+            for members in self.classes.values()
+            for p in members
+            if not divisible_by_x_plus_1(p)
+        ]
+
+    def sorted_rows(self) -> list[tuple[tuple[int, ...], int]]:
+        """(signature, count) rows ordered like Table 2: by number of
+        factors, then by the signature itself."""
+        return sorted(
+            self.counts.items(), key=lambda row: (len(row[0]), row[0])
+        )
+
+
+def census_of(survivors: list[PolyRecord] | list[int]) -> ClassCensus:
+    """Build a census from survivor records (or raw polynomials).
+
+    >>> census_of([0b101011]).counts   # (x+1)(x^4+x^3+1)
+    {(1, 4): 1}
+    """
+    census = ClassCensus()
+    for item in survivors:
+        poly = item.poly if isinstance(item, PolyRecord) else item
+        census.add(poly)
+    return census
+
+
+def fewest_taps(polys: list[int], count: int = 1) -> list[int]:
+    """The ``count`` polynomials with the fewest non-zero coefficients.
+
+    The paper singles out 0x90022004 (five non-zero coefficients,
+    HD=6 to ~32K) and 0x80108400 (minimum coefficients with HD=5 to
+    ~64K) because sparse feedback simplifies high-speed combinational
+    logic.  Ties break toward the numerically smaller encoding for
+    determinism.
+    """
+    return sorted(polys, key=lambda p: (p.bit_count(), p))[:count]
+
+
+def koopman_summary(census: ClassCensus) -> list[str]:
+    """Human-readable census lines, one per class, with the sparsest
+    member called out -- the working summary the campaign would print.
+    """
+    lines = []
+    for sig, members in sorted(census.classes.items(), key=lambda x: (len(x[0]), x[0])):
+        sparsest = fewest_taps(members)[0]
+        lines.append(
+            "{{{}}}: {} polynomials (sparsest: {:#x}, {} terms)".format(
+                ",".join(map(str, sig)),
+                len(members),
+                full_to_koopman(sparsest),
+                sparsest.bit_count(),
+            )
+        )
+    return lines

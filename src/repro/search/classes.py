@@ -1,0 +1,156 @@
+"""Constructive factorization-class generators.
+
+Castagnoli's search (the paper's §3 baseline) did not enumerate the
+whole space: polynomials were "carefully selected based on prime
+factorization characteristics" -- i.e. constructed as products of
+irreducibles with chosen degrees -- and only those were evaluated on
+the special-purpose hardware.  This module reproduces that
+methodology: enumerate or sample members of a class ``{d1,..,dk}``
+by multiplying irreducible factors.
+
+It also supports the paper's counter-lesson: factorization "suggests
+potential capabilities, but specific evaluation is required" -- most
+members of the winning {1,3,28} class do *not* achieve HD=6 at MTU
+length (only 448 of ~19 million do); `bench_classes.py` measures that
+rejection rate with this generator.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from itertools import combinations_with_replacement
+
+from repro.gf2.irreducible import count_irreducibles, irreducibles, is_irreducible
+from repro.gf2.poly import degree, gf2_mul
+
+
+def class_size(signature: tuple[int, ...]) -> int:
+    """Number of distinct polynomials in a factorization class.
+
+    Multiset coefficient per repeated degree: choosing ``m`` factors of
+    degree ``d`` from ``N_d`` irreducibles with repetition allowed
+    gives ``C(N_d + m - 1, m)``.
+
+    >>> class_size((1, 3, 28))     # (x+1) x deg-3 x deg-28 choices
+    19172790
+    """
+    from math import comb
+
+    total = 1
+    for d in set(signature):
+        m = signature.count(d)
+        # degree 1: only (x+1) is usable -- a factor of x would kill
+        # the +1 term every CRC generator needs.
+        n_d = 1 if d == 1 else count_irreducibles(d)
+        total *= comb(n_d + m - 1, m)
+    return total
+
+
+def class_members(
+    signature: tuple[int, ...], *, limit: int | None = None
+) -> Iterator[int]:
+    """Enumerate class members (products of irreducible factors with
+    the given degrees), deterministically.
+
+    Practical when every degree in the signature is small enough to
+    enumerate its irreducibles (``d <= ~20``); for the paper's
+    degree-28/30/31 factors use :func:`sample_class_members`.
+    """
+    per_degree: dict[int, list[int]] = {}
+    for d in set(signature):
+        if d > 22:
+            raise ValueError(
+                f"degree-{d} irreducibles are too many to enumerate; "
+                "use sample_class_members"
+            )
+        # exclude the factor x (it would kill the +1 term)
+        per_degree[d] = [0b11] if d == 1 else list(irreducibles(d))
+    yielded = 0
+
+    def expand(degrees: list[int], acc: int) -> Iterator[int]:
+        if not degrees:
+            yield acc
+            return
+        d = degrees[0]
+        m = degrees.count(d)
+        rest = [x for x in degrees if x != d]
+        for chosen in combinations_with_replacement(per_degree[d], m):
+            product = acc
+            for f in chosen:
+                product = gf2_mul(product, f)
+            yield from expand(rest, product)
+
+    for p in expand(sorted(signature), 1):
+        yield p
+        yielded += 1
+        if limit is not None and yielded >= limit:
+            return
+
+
+def random_irreducible(d: int, rng: random.Random, max_tries: int = 100_000) -> int:
+    """A uniformly-ish random irreducible polynomial of degree ``d``
+    (rejection sampling; the density is ~1/d so a few tries suffice)."""
+    if d == 1:
+        return 0b11  # x+1: the only degree-1 factor a CRC can carry
+    for _ in range(max_tries):
+        f = (1 << d) | (rng.getrandbits(d - 1) << 1) | 1
+        if is_irreducible(f):
+            return f
+    raise RuntimeError(f"no irreducible of degree {d} found (bug)")
+
+
+def sample_class_members(
+    signature: tuple[int, ...], count: int, *, seed: int = 0
+) -> list[int]:
+    """Random members of a class, for classes too big to enumerate --
+    the way a Castagnoli-style study would sample the {1,3,28} space.
+
+    Deterministic given ``seed``; duplicates are filtered.
+
+    >>> polys = sample_class_members((1, 3, 28), 3, seed=1)
+    >>> from repro.gf2.factorize import factor_degrees
+    >>> all(factor_degrees(p) == [1, 3, 28] for p in polys)
+    True
+    """
+    rng = random.Random(seed)
+    out: list[int] = []
+    seen: set[int] = set()
+    guard = 0
+    while len(out) < count:
+        guard += 1
+        if guard > 100 * count:
+            raise RuntimeError("class sampling failed to make progress")
+        product = 1
+        for d in signature:
+            product = gf2_mul(product, random_irreducible(d, rng))
+        if product in seen:
+            continue
+        seen.add(product)
+        out.append(product)
+    return out
+
+
+def degree_of_class(signature: tuple[int, ...]) -> int:
+    """Total degree of any member of the class."""
+    return sum(signature)
+
+
+def paper_class_shapes(width: int = 32) -> list[tuple[int, ...]]:
+    """The factorization shapes of the paper's Table 2 (all classes
+    that turned out to contain HD=6-at-MTU polynomials), parameterized
+    by width for scaled studies."""
+    if width == 32:
+        return [
+            (1, 1, 30), (1, 3, 28), (1, 1, 15, 15), (1, 1, 2, 28),
+            (1, 3, 14, 14), (1, 1, 1, 1, 28), (1, 1, 2, 14, 14),
+            (1, 1, 1, 1, 14, 14),
+        ]
+    # scaled analogues keep the "(x+1) plus large factors" structure
+    big = width - 1
+    half = (width - 2) // 2
+    return [
+        (1, big),
+        (1, 1, width - 2),
+        (1, 1, half, width - 2 - half),
+    ]

@@ -1,0 +1,71 @@
+"""Tests for pairwise dominance analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import _collapse, compare, recommend
+from repro.gf2.notation import koopman_to_full
+from repro.hd.breakpoints import hd_breakpoint_table
+
+
+@pytest.fixture(scope="module")
+def tables():
+    out = {}
+    for key, koop in [("802.3", 0x82608EDB), ("BA0DC66B", 0xBA0DC66B),
+                      ("8F6E37A0", 0x8F6E37A0)]:
+        out[key] = hd_breakpoint_table(
+            koopman_to_full(koop), hd_max=8, n_max=1200
+        )
+    return out
+
+
+class TestCollapse:
+    def test_empty(self):
+        assert _collapse([]) == []
+
+    def test_runs(self):
+        assert _collapse([1, 2, 3, 7, 8, 10]) == [(1, 3), (7, 8), (10, 10)]
+
+
+class TestCompare:
+    def test_ba0d_vs_8023(self, tables):
+        d = compare("BA0DC66B", tables["BA0DC66B"], "802.3", tables["802.3"],
+                    n_min=160, n_max=1200)
+        # 802.3's HD=6 ends at 268; BA0DC66B holds 6 to 16360: from 269
+        # on, BA0DC66B is strictly better; below, 802.3 sometimes wins
+        # (it has HD=7/8 bands where BA0DC66B has 6).
+        assert any(lo <= 269 <= hi for lo, hi in d.a_better)
+        assert (269, 1200) in d.a_better or d.a_better[-1][1] == 1200
+
+    def test_self_comparison_all_ties(self, tables):
+        d = compare("x", tables["802.3"], "y", tables["802.3"],
+                    n_min=8, n_max=500)
+        assert not d.a_better and not d.b_better
+        assert d.ties == [(8, 500)]
+        assert not d.a_dominates and not d.b_dominates
+
+    def test_render(self, tables):
+        d = compare("BA0DC66B", tables["BA0DC66B"], "8F6E37A0",
+                    tables["8F6E37A0"], n_min=8, n_max=1200)
+        text = d.render()
+        assert "vs" in text and "better" in text
+
+    def test_crossovers_detected(self, tables):
+        d = compare("802.3", tables["802.3"], "BA0DC66B",
+                    tables["BA0DC66B"], n_min=8, n_max=1200)
+        assert d.crossover_lengths  # leadership changes at least once
+
+
+class TestRecommend:
+    def test_mtu_range_prefers_hd6_polys(self, tables):
+        ranking = recommend(tables, n_min=300, n_max=1200)
+        labels = [label for label, _ in ranking]
+        # both HD=6-at-length polynomials outrank 802.3 here
+        assert labels.index("802.3") == 2
+        assert ranking[0][1] == 6
+
+    def test_short_range_favors_high_hd(self, tables):
+        ranking = recommend(tables, n_min=8, n_max=60)
+        # 802.3 holds HD>=8 through 91 bits: top of this ranking
+        assert ranking[0][0] == "802.3"

@@ -1,0 +1,109 @@
+"""Tests for polyinfo reports and table/figure renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    figure1_series,
+    log2_grid,
+    render_figure1_ascii,
+    series_to_csv,
+)
+from repro.analysis.polyinfo import report_for
+from repro.analysis.tables import render_comparison, render_table1, render_table2
+from repro.gf2.notation import koopman_to_full
+from repro.hd.breakpoints import hd_breakpoint_table
+from repro.search.census import census_of
+
+
+@pytest.fixture(scope="module")
+def crc8_table():
+    return hd_breakpoint_table(0x107, hd_max=5, n_max=200)
+
+
+@pytest.fixture(scope="module")
+def crc8_maxim_table():
+    return hd_breakpoint_table(0x131, hd_max=5, n_max=200)
+
+
+class TestPolyReport:
+    def test_8023_report_fields(self):
+        rep = report_for(koopman_to_full(0x82608EDB))
+        assert rep.koopman == 0x82608EDB
+        assert rep.normal == 0x04C11DB7
+        assert rep.reflected == 0xEDB88320
+        assert rep.factor_class == (32,)
+        assert rep.taps == 15
+
+    def test_render_contains_key_facts(self, crc8_table):
+        rep = report_for(0x107, crc8_table)
+        text = rep.render()
+        assert "0x107" in text
+        assert "{1,7}" in text
+        assert "order of x    127" in text
+        assert "HD  = 4: " in text
+
+    def test_ba0dc66b_hd2_onset(self):
+        rep = report_for(koopman_to_full(0xBA0DC66B))
+        assert rep.order == 114695
+        assert rep.hd2_onset == 114664
+
+
+class TestTable1Renderer:
+    def test_layout(self, crc8_table, crc8_maxim_table):
+        out = render_table1([("CRC-8/ATM", crc8_table), ("CRC-8/MAXIM", crc8_maxim_table)])
+        assert "CRC-8/ATM" in out and "CRC-8/MAXIM" in out
+        lines = out.splitlines()
+        hd_rows = [ln for ln in lines if ln.strip().startswith(("2 ", "4 ", "5 "))]
+        assert hd_rows  # HD rows rendered
+        # ATM column: HD=4 through 119 then HD=2 open-ended
+        assert any("119" in ln for ln in lines)
+        assert any("+" in ln for ln in lines)
+
+
+class TestTable2Renderer:
+    def test_layout_and_law(self):
+        census = census_of([0x107, 0x137, 0b101011])
+        out = render_table2(census)
+        assert "{1,7}" in out
+        assert "total" in out
+        assert "divisible by (x+1)" in out
+
+    def test_violators_reported(self):
+        out = render_table2(census_of([0b1011]))
+        assert "NOT divisible" in out
+
+
+class TestFigure1:
+    def test_grid(self):
+        g = log2_grid(64, 512)
+        assert g == [64, 128, 256, 512]
+
+    def test_series_and_csv(self, crc8_table, crc8_maxim_table):
+        series = figure1_series(
+            [("atm", crc8_table), ("maxim", crc8_maxim_table)],
+            lengths=[16, 64, 128, 190],
+        )
+        assert [n for n, _ in series["atm"]] == [16, 64, 128, 190]
+        assert dict(series["atm"])[64] == 4
+        assert dict(series["atm"])[128] == 2
+        csv = series_to_csv(series)
+        assert csv.splitlines()[0] == "data_word_bits,atm,maxim"
+        assert len(csv.splitlines()) == 5
+
+    def test_ascii_render(self, crc8_table):
+        series = figure1_series([("atm", crc8_table)], lengths=[16, 64, 128])
+        art = render_figure1_ascii(series, hd_min=2, hd_max=5)
+        assert "A = atm" in art
+        assert art.count("\n") >= 5
+
+
+class TestComparisonRenderer:
+    def test_alignment(self):
+        out = render_comparison(
+            [("row1", {"paper": 16360, "measured": 16360}),
+             ("row2", {"paper": 2974, "measured": 2974})],
+            ["paper", "measured"],
+        )
+        assert "paper" in out and "16360" in out

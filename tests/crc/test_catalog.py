@@ -1,0 +1,89 @@
+"""Catalog integrity tests: the paper's polynomial records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crc.catalog import (
+    CASTAGNOLI_CORRECT_FULL,
+    CASTAGNOLI_TYPO_FULL,
+    PAPER_POLYS,
+    get_spec,
+    paper_poly,
+)
+from repro.gf2.notation import class_signature
+from repro.gf2.order import hd2_data_word_limit
+from repro.gf2.poly import divisible_by_x_plus_1
+
+
+class TestLookups:
+    def test_get_spec_known(self):
+        assert get_spec("CRC-32/IEEE-802.3").width == 32
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError, match="unknown CRC"):
+            get_spec("CRC-99/NOPE")
+
+    def test_paper_poly_unknown(self):
+        with pytest.raises(KeyError, match="unknown paper polynomial"):
+            paper_poly("CAFEBABE")
+
+
+class TestPaperPolyRecords:
+    @pytest.mark.parametrize("key", sorted(PAPER_POLYS))
+    def test_factor_class_matches_computed(self, key):
+        pp = PAPER_POLYS[key]
+        assert class_signature(pp.full) == pp.factor_class
+
+    @pytest.mark.parametrize("key", sorted(PAPER_POLYS))
+    def test_full_encoding_shape(self, key):
+        pp = PAPER_POLYS[key]
+        assert pp.full >> 32 == 1 and pp.full & 1
+
+    @pytest.mark.parametrize("key", sorted(PAPER_POLYS))
+    def test_hd2_onset_consistent_with_hd4_claim(self, key):
+        # Where Table 1 records an HD=4 (or 5) band ending at L, the
+        # order-derived HD>=3 limit must be >= L.
+        pp = PAPER_POLYS[key]
+        limit = hd2_data_word_limit(pp.full)
+        for hd, last in pp.hd_breaks.items():
+            if hd >= 3:
+                assert limit >= last, (key, hd)
+
+    @pytest.mark.parametrize("key", sorted(PAPER_POLYS))
+    def test_breaks_nest(self, key):
+        # Higher HD never persists past a lower HD's limit.
+        pp = PAPER_POLYS[key]
+        items = sorted(pp.hd_breaks.items())
+        for (hd_lo, len_lo), (hd_hi, len_hi) in zip(items, items[1:]):
+            assert len_lo >= len_hi, (key, hd_lo, hd_hi)
+
+    def test_hd_at_interpolation(self):
+        pp = PAPER_POLYS["BA0DC66B"]
+        assert pp.hd_at(12112) == 6
+        assert pp.hd_at(16360) == 6
+        assert pp.hd_at(16361) == 4
+        assert pp.hd_at(114663) == 4
+        assert pp.hd_at(114664) == 2
+
+    def test_hd6_at_mtu_polys_divisible_by_x_plus_1(self):
+        # The paper's §4.2 law is about HD=6 *at MTU length* (802.3
+        # reaches HD=6 only to 268 bits and is exempt).
+        for key, pp in PAPER_POLYS.items():
+            if pp.hd_breaks.get(6, 0) >= 12112:
+                assert divisible_by_x_plus_1(pp.full), key
+        # ...and it is non-vacuous: four of the eight qualify.
+        qualifying = [
+            k for k, pp in PAPER_POLYS.items() if pp.hd_breaks.get(6, 0) >= 12112
+        ]
+        assert sorted(qualifying) == [
+            "90022004", "992C1A4C", "BA0DC66B", "FA567D89",
+        ]
+
+
+class TestCastagnoliErratum:
+    def test_typo_is_one_bit_off(self):
+        assert (CASTAGNOLI_TYPO_FULL ^ CASTAGNOLI_CORRECT_FULL).bit_count() == 1
+
+    def test_correct_value_is_fa567d89(self):
+        assert CASTAGNOLI_CORRECT_FULL == paper_poly("FA567D89").full

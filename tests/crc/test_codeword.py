@@ -1,0 +1,96 @@
+"""FCS handling and codeword membership tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crc.catalog import CATALOG
+from repro.crc.codeword import (
+    append_fcs,
+    check_fcs,
+    codeword_from_message,
+    is_codeword,
+    syndrome_of_bits,
+)
+from repro.crc.spec import CRCSpec
+
+BYTE_SPECS = [n for n, s in CATALOG.items() if s.width % 8 == 0]
+
+
+class TestFcsRoundtrip:
+    @given(st.sampled_from(BYTE_SPECS), st.binary(min_size=0, max_size=100))
+    @settings(max_examples=150, deadline=None)
+    def test_append_then_check(self, name, data):
+        spec = CATALOG[name]
+        assert check_fcs(spec, append_fcs(spec, data))
+
+    @given(st.sampled_from(BYTE_SPECS), st.binary(min_size=1, max_size=64),
+           st.integers(min_value=0), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=150, deadline=None)
+    def test_single_bit_flip_detected(self, name, data, byte_pos, bit):
+        # Any single-bit error is detected by any CRC.
+        spec = CATALOG[name]
+        frame = bytearray(append_fcs(spec, data))
+        frame[byte_pos % len(frame)] ^= 1 << bit
+        assert not check_fcs(spec, bytes(frame))
+
+    def test_short_frame_fails(self):
+        spec = CATALOG["CRC-32/IEEE-802.3"]
+        assert not check_fcs(spec, b"\x01")
+
+    def test_non_byte_width_rejected(self):
+        spec = CRCSpec(name="t", width=5, poly=0x15)
+        with pytest.raises(ValueError):
+            append_fcs(spec, b"x")
+
+
+class TestCodewords:
+    def test_docstring_example(self):
+        # message 101 -> codeword 101100 == (x^3+x+1) * x^2
+        s = CRCSpec(name="toy", width=3, poly=0b011)
+        assert codeword_from_message(s, [1, 0, 1]) == [1, 0, 1, 1, 0, 0]
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=60))
+    @settings(max_examples=200)
+    def test_codewords_are_divisible(self, message):
+        s = CRCSpec(name="toy", width=8, poly=0x07)
+        cw = codeword_from_message(s, message)
+        assert is_codeword(s, cw)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40),
+        st.integers(min_value=0),
+    )
+    @settings(max_examples=200)
+    def test_single_flip_leaves_codeword_set(self, message, pos):
+        s = CRCSpec(name="toy", width=8, poly=0x07)
+        cw = codeword_from_message(s, message)
+        cw[pos % len(cw)] ^= 1
+        assert not is_codeword(s, cw)
+
+    def test_codeword_set_closed_under_xor(self):
+        s = CRCSpec(name="toy", width=8, poly=0x07)
+        a = codeword_from_message(s, [1, 0, 1, 1])
+        b = codeword_from_message(s, [0, 1, 1, 0])
+        xored = [x ^ y for x, y in zip(a, b)]
+        assert is_codeword(s, xored)
+
+
+class TestSyndromes:
+    def test_generator_positions_have_zero_syndrome(self):
+        # The generator itself, as a position set, is a codeword.
+        s = CRCSpec(name="toy", width=8, poly=0x07)
+        positions = [i for i in range(33) if (s.full_poly >> i) & 1]
+        assert syndrome_of_bits(s, positions) == 0
+
+    def test_single_position(self):
+        s = CRCSpec(name="toy", width=3, poly=0b011)
+        assert syndrome_of_bits(s, [0]) == 1
+        assert syndrome_of_bits(s, [3]) == 0b011  # x^3 mod (x^3+x+1)
+
+    def test_negative_position_rejected(self):
+        s = CRCSpec(name="toy", width=3, poly=0b011)
+        with pytest.raises(ValueError):
+            syndrome_of_bits(s, [-1])

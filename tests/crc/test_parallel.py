@@ -1,0 +1,70 @@
+"""Parallel-CRC construction tests and the hardware-cost metric."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crc.engine import crc_bits
+from repro.crc.parallel import ParallelCrc, compare_hardware_cost
+from repro.crc.spec import CRCSpec
+from repro.gf2.notation import koopman_to_full
+
+BARE32 = CRCSpec(name="bare32", width=32, poly=0x04C11DB7)
+BARE8 = CRCSpec(name="bare8", width=8, poly=0x07)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("datapath", [1, 4, 8, 16, 32])
+    def test_matches_bit_serial(self, datapath):
+        pc = ParallelCrc.build(BARE32, datapath)
+        bits = [int(b) for b in format(0xDEADBEEF00C0FFEE, "064b")]
+        assert pc.run(bits) == crc_bits(BARE32, bits)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=8, max_size=80),
+           st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=150, deadline=None)
+    def test_property_equivalence(self, bits, datapath):
+        bits = bits[: len(bits) - (len(bits) % datapath)]
+        if not bits:
+            return
+        pc = ParallelCrc.build(BARE8, datapath)
+        assert pc.run(bits) == crc_bits(BARE8, bits)
+
+    def test_rejects_reflected(self):
+        spec = CRCSpec(name="r", width=32, poly=0x04C11DB7, refin=True)
+        with pytest.raises(ValueError):
+            ParallelCrc.build(spec, 8)
+
+    def test_rejects_misaligned_message(self):
+        pc = ParallelCrc.build(BARE8, 8)
+        with pytest.raises(ValueError):
+            pc.run([1, 0, 1])
+
+    def test_rejects_wide_input(self):
+        pc = ParallelCrc.build(BARE8, 4)
+        with pytest.raises(ValueError):
+            pc.step(0, 0x1F)
+
+
+class TestHardwareCost:
+    def test_sparse_polys_cost_less(self):
+        costs = compare_hardware_cost({
+            "802.3": koopman_to_full(0x82608EDB),
+            "90022004": koopman_to_full(0x90022004),
+            "80108400": koopman_to_full(0x80108400),
+        }, datapath=8)
+        # the paper's claim, quantified: fewer generator terms =>
+        # fewer XOR terms in the synthesized parallel network
+        assert costs["90022004"]["xor_terms"] < costs["802.3"]["xor_terms"]
+        assert costs["80108400"]["xor_terms"] < costs["802.3"]["xor_terms"]
+
+    def test_cost_grows_with_datapath(self):
+        narrow = ParallelCrc.build(BARE32, 4).xor_term_count()
+        wide = ParallelCrc.build(BARE32, 32).xor_term_count()
+        assert wide > narrow
+
+    def test_fanin_positive(self):
+        pc = ParallelCrc.build(BARE32, 8)
+        assert pc.max_fanin() >= 2

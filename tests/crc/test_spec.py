@@ -1,0 +1,54 @@
+"""Tests for CRCSpec validation and derived properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crc.spec import CRCSpec, spec_from_full_poly
+
+
+class TestValidation:
+    def test_basic_construction(self):
+        s = CRCSpec(name="t", width=8, poly=0x07)
+        assert s.mask == 0xFF
+        assert s.topbit == 0x80
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            CRCSpec(name="t", width=0, poly=1)
+
+    def test_rejects_oversized_poly(self):
+        with pytest.raises(ValueError):
+            CRCSpec(name="t", width=8, poly=0x107)
+
+    def test_rejects_oversized_init(self):
+        with pytest.raises(ValueError):
+            CRCSpec(name="t", width=8, poly=0x07, init=0x100)
+
+    def test_rejects_poly_without_plus_one(self):
+        with pytest.raises(ValueError):
+            CRCSpec(name="t", width=8, poly=0x06)
+
+
+class TestDerived:
+    def test_full_poly(self):
+        s = CRCSpec(name="t", width=32, poly=0x04C11DB7)
+        assert s.full_poly == 0x104C11DB7
+        assert s.koopman == 0x82608EDB
+
+    def test_plain_strips_presentation(self):
+        s = CRCSpec(
+            name="t", width=32, poly=0x04C11DB7,
+            init=0xFFFFFFFF, refin=True, refout=True, xorout=0xFFFFFFFF,
+        )
+        p = s.plain()
+        assert (p.init, p.refin, p.refout, p.xorout) == (0, False, False, 0)
+        assert p.poly == s.poly
+
+    def test_spec_from_full_poly(self):
+        s = spec_from_full_poly(0x104C11DB7)
+        assert (s.width, s.poly) == (32, 0x04C11DB7)
+
+    def test_str_is_informative(self):
+        s = CRCSpec(name="x", width=8, poly=0x07)
+        assert "width=8" in str(s) and "0x7" in str(s)

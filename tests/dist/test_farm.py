@@ -1,0 +1,104 @@
+"""Virtual-time farm simulation tests, pinned to the paper's §4.2
+campaign arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dist.farm import (
+    CampaignEstimate,
+    FarmSpec,
+    MachineSpec,
+    _advance_through_duty,
+    brute_force_years,
+    castagnoli_hardware_years,
+    paper_campaign_estimate,
+    simulate_campaign,
+)
+
+
+class TestDutyCycleAdvance:
+    CONT = MachineSpec("c", 1, 1.0)
+    HALF = MachineSpec("h", 1, 1.0, duty_on=10.0, duty_off=10.0)
+
+    def test_continuous(self):
+        assert _advance_through_duty(5.0, 100.0, self.CONT, 0.0) == 105.0
+
+    def test_half_duty_long_run(self):
+        # 100 compute seconds at 50% duty ~ 190-210 wall seconds
+        end = _advance_through_duty(0.0, 100.0, self.HALF, 0.0)
+        assert 185.0 <= end <= 215.0
+
+    def test_within_first_window(self):
+        assert _advance_through_duty(0.0, 5.0, self.HALF, 0.0) == 5.0
+
+    def test_starts_in_off_window(self):
+        # phase puts t=0 at the start of an off window: sleep 10 then work
+        end = _advance_through_duty(10.0, 5.0, self.HALF, 0.0)
+        assert end == 25.0
+
+
+class TestSimulation:
+    def test_single_machine_exact(self):
+        farm = FarmSpec(machines=(MachineSpec("m", 1, 10.0),))
+        est = simulate_campaign(farm, 1000, chunk_candidates=100)
+        assert est.wall_seconds == pytest.approx(100.0)
+        assert est.cpu_seconds == pytest.approx(100.0)
+        assert est.chunks == 10
+
+    def test_two_machines_halve_wall_clock(self):
+        one = simulate_campaign(FarmSpec((MachineSpec("m", 1, 10.0),)), 10_000, chunk_candidates=100)
+        two = simulate_campaign(FarmSpec((MachineSpec("m", 2, 10.0),)), 10_000, chunk_candidates=100)
+        assert two.wall_seconds == pytest.approx(one.wall_seconds / 2, rel=0.02)
+        assert two.cpu_seconds == pytest.approx(one.cpu_seconds)
+
+    def test_deterministic(self):
+        farm = FarmSpec.paper_fleet()
+        a = simulate_campaign(farm, 10**7)
+        b = simulate_campaign(farm, 10**7)
+        assert a.wall_seconds == b.wall_seconds
+
+    def test_heterogeneous_rates_share_proportionally(self):
+        farm = FarmSpec((MachineSpec("fast", 1, 30.0), MachineSpec("slow", 1, 10.0)))
+        est = simulate_campaign(farm, 40_000, chunk_candidates=1000)
+        assert est.per_machine_chunks["fast"] > est.per_machine_chunks["slow"]
+
+
+class TestPaperArithmetic:
+    def test_campaign_lands_on_one_summer(self):
+        # "late May to early September" ~ 3 to 4.5 months
+        est = paper_campaign_estimate()
+        assert 2.5 <= est.wall_months <= 4.5
+        assert est.total_candidates == 1_073_774_592
+
+    def test_cpu_years_magnitude(self):
+        # 2^30 polys at ~2/s ~ 17 CPU-years
+        est = paper_campaign_estimate()
+        assert 15 <= est.cpu_seconds / 3.156e7 <= 20
+
+    def test_castagnoli_hardware_exceeds_3600_years(self):
+        assert castagnoli_hardware_years() > 3600
+
+    def test_brute_force_151_million_years(self):
+        assert brute_force_years() == pytest.approx(151e6, rel=0.01)
+
+    def test_summary_is_informative(self):
+        est = paper_campaign_estimate()
+        s = est.summary()
+        assert "months" in s and "CPU-years" in s
+
+
+class TestSpecValidation:
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            MachineSpec("m", 0, 1.0)
+
+    def test_bad_duty(self):
+        with pytest.raises(ValueError):
+            MachineSpec("m", 1, 1.0, duty_on=0.0)
+
+    def test_availability(self):
+        assert MachineSpec("m", 1, 1.0).availability == 1.0
+        assert MachineSpec("m", 1, 1.0, duty_on=1.0, duty_off=3.0).availability == 0.25

@@ -1,0 +1,84 @@
+"""Progress tracking and ETA tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.progress import ProgressTracker, campaign_on_track
+
+
+class TestTracker:
+    def test_no_rate_before_two_samples(self):
+        t = ProgressTracker(total_chunks=100)
+        assert t.rate is None and t.eta(0.0) is None
+        t.observe(0.0, 0)
+        assert t.rate is None
+
+    def test_constant_rate_eta(self):
+        t = ProgressTracker(total_chunks=100)
+        for i in range(11):
+            t.observe(i * 10.0, i)  # 1 chunk / 10 s
+        assert t.rate == pytest.approx(0.1)
+        assert t.eta(100.0) == pytest.approx(900.0)  # 90 left at 0.1/s
+
+    def test_eta_zero_when_done(self):
+        t = ProgressTracker(total_chunks=5)
+        t.observe(0.0, 0)
+        t.observe(10.0, 5)
+        assert t.eta(10.0) == 0.0
+
+    def test_window_adapts_to_speedup(self):
+        t = ProgressTracker(total_chunks=1000, window=4)
+        # slow phase
+        for i in range(5):
+            t.observe(i * 100.0, i)
+        # fast phase: the small window forgets the slow past
+        base = t.done
+        for j in range(1, 5):
+            t.observe(400.0 + j, base + j * 10)
+        assert t.rate > 1.0
+
+    def test_regress_rejected(self):
+        t = ProgressTracker(total_chunks=10)
+        t.observe(1.0, 3)
+        with pytest.raises(ValueError):
+            t.observe(2.0, 2)
+        with pytest.raises(ValueError):
+            t.observe(0.5, 4)
+
+    def test_summary(self):
+        t = ProgressTracker(total_chunks=10)
+        t.observe(0.0, 0)
+        t.observe(86_400.0, 5)
+        s = t.summary(86_400.0)
+        assert "5/10" in s and "50.0%" in s and "1.0 days" in s
+
+    def test_interval_brackets_point(self):
+        t = ProgressTracker(total_chunks=100)
+        t.observe(0.0, 0)
+        t.observe(10.0, 10)
+        lo, hi = t.eta_interval(10.0)
+        assert lo < t.eta(10.0) < hi
+
+
+class TestOnTrack:
+    def test_on_track_logic(self):
+        t = ProgressTracker(total_chunks=100)
+        t.observe(0.0, 0)
+        t.observe(10.0, 10)  # 1/s -> 90s remaining
+        assert campaign_on_track(t, 10.0, deadline=150.0) is True
+        assert campaign_on_track(t, 10.0, deadline=50.0) is False
+
+    def test_unknown_before_rate(self):
+        t = ProgressTracker(total_chunks=100)
+        assert campaign_on_track(t, 0.0, 100.0) is None
+
+    def test_paper_scale_scenario(self):
+        # the 2001 campaign: ~1024 chunks over ~96 days; halfway in,
+        # the tracker should predict roughly the remaining half
+        t = ProgressTracker(total_chunks=1024, window=64)
+        day = 86_400.0
+        for d in range(49):
+            t.observe(d * day, int(d * 1024 / 96))
+        eta = t.eta(48 * day)
+        assert 40 * day < eta < 60 * day

@@ -1,0 +1,107 @@
+"""Task and queue semantics: leasing, expiry, idempotent completion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.queue import TaskQueue
+from repro.dist.tasks import SearchTask, TaskStatus, partition_space
+
+
+class TestPartition:
+    def test_exact_tiling(self):
+        tasks = partition_space(8, 32)
+        assert [(t.start_index, t.end_index) for t in tasks] == [
+            (0, 32), (32, 64), (64, 96), (96, 128)
+        ]
+
+    def test_ragged_tail(self):
+        tasks = partition_space(8, 50)
+        assert tasks[-1].end_index == 128
+        assert sum(t.size for t in tasks) == 128
+
+    @given(st.integers(min_value=3, max_value=14), st.integers(min_value=1, max_value=500))
+    @settings(max_examples=100)
+    def test_tiling_invariants(self, width, chunk):
+        tasks = partition_space(width, chunk)
+        total = 1 << (width - 1)
+        assert tasks[0].start_index == 0
+        assert tasks[-1].end_index == total
+        for a, b in zip(tasks, tasks[1:]):
+            assert a.end_index == b.start_index
+        assert len({t.chunk_id for t in tasks}) == len(tasks)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            partition_space(8, 0)
+
+
+class TestLeasing:
+    def make_queue(self, n=4, lease=10.0):
+        return TaskQueue(partition_space(6, 32 // n if n else 32), lease_duration=lease)
+
+    def test_lease_lowest_pending(self):
+        q = TaskQueue(partition_space(6, 8), lease_duration=10)
+        t = q.lease("w1", now=0.0)
+        assert t.chunk_id == 0 and t.status is TaskStatus.LEASED
+        t2 = q.lease("w2", now=0.0)
+        assert t2.chunk_id == 1
+
+    def test_no_pending_returns_none(self):
+        q = TaskQueue(partition_space(6, 32), lease_duration=10)
+        q.lease("w1", 0.0)
+        assert q.lease("w2", 0.0) is None
+        assert q.leased == 1
+
+    def test_expiry_reclaims(self):
+        q = TaskQueue(partition_space(6, 32), lease_duration=5.0)
+        t = q.lease("w1", 0.0)
+        assert q.lease("w2", 4.9) is None       # still held
+        t2 = q.lease("w2", 5.1)                  # lease expired
+        assert t2.chunk_id == t.chunk_id
+        assert t2.owner == "w2"
+        assert t2.attempts == 2
+
+    def test_renew_extends(self):
+        q = TaskQueue(partition_space(6, 32), lease_duration=5.0)
+        t = q.lease("w1", 0.0)
+        assert q.renew(t.chunk_id, "w1", 4.0)
+        assert q.lease("w2", 6.0) is None  # renewed through 9.0
+
+    def test_renew_after_reassignment_fails(self):
+        q = TaskQueue(partition_space(6, 32), lease_duration=5.0)
+        t = q.lease("w1", 0.0)
+        q.lease("w2", 10.0)  # reassigned
+        assert not q.renew(t.chunk_id, "w1", 11.0)
+
+    def test_duplicate_chunk_ids_rejected(self):
+        tasks = [SearchTask(0, 0, 1), SearchTask(0, 1, 2)]
+        with pytest.raises(ValueError):
+            TaskQueue(tasks)
+
+
+class TestCompletion:
+    def test_first_completion_wins(self):
+        q = TaskQueue(partition_space(6, 32), lease_duration=5.0)
+        t = q.lease("w1", 0.0)
+        assert q.complete(t.chunk_id, "w1", 1.0)
+        assert not q.complete(t.chunk_id, "w1", 1.1)   # replay
+        assert not q.complete(t.chunk_id, "w2", 1.2)   # other worker
+        assert q.done == 1
+
+    def test_late_completion_from_expired_lease_accepted(self):
+        # worker w1 went silent, chunk reassigned to w2; w1 wakes up
+        # and completes first -- accepted (deterministic computation).
+        q = TaskQueue(partition_space(6, 32), lease_duration=5.0)
+        t = q.lease("w1", 0.0)
+        q.lease("w2", 10.0)
+        assert q.complete(t.chunk_id, "w1", 10.5)
+        assert q.done == 1
+
+    def test_progress_line(self):
+        q = TaskQueue(partition_space(6, 16), lease_duration=5.0)
+        q.lease("w1", 0.0)
+        assert "1 in flight" in q.progress()
+        assert not q.all_done

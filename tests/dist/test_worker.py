@@ -1,0 +1,79 @@
+"""Worker-level tests: drain loop, crash semantics, duplicate counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.faults import FaultPlan, WorkerCrashed
+from repro.dist.queue import TaskQueue
+from repro.dist.tasks import partition_space
+from repro.dist.worker import ChunkWorker, drain
+from repro.search.exhaustive import SearchConfig, search_all
+
+CFG = SearchConfig(width=6, target_hd=4, filter_lengths=(8, 20),
+                   confirm_weights=False)
+
+
+def make_queue(chunk_size=8):
+    return TaskQueue(partition_space(6, chunk_size), lease_duration=100.0)
+
+
+class TestDrain:
+    def test_single_worker_drains_everything(self):
+        queue = make_queue()
+        worker = ChunkWorker("w0", CFG)
+        seen = []
+        drain(worker, queue, lambda t, r, w: seen.append((t.chunk_id, r.examined)))
+        assert queue.all_done
+        assert sorted(c for c, _ in seen) == [0, 1, 2, 3]
+        from repro.search.exhaustive import expected_examined
+
+        # only canonical (reciprocal-deduped) candidates are examined
+        assert sum(e for _, e in seen) == expected_examined(6) == 20
+
+    def test_drain_results_match_direct(self):
+        queue = make_queue()
+        worker = ChunkWorker("w0", CFG)
+        collected = []
+        drain(worker, queue, lambda t, r, w: collected.extend(r.records))
+        direct = search_all(CFG)
+        assert {rec.poly: rec.survived for rec in collected} == {
+            rec.poly: rec.survived for rec in direct.records
+        }
+
+    def test_crash_stops_drain(self):
+        queue = make_queue()
+        plan = FaultPlan(crash_points={"w0": 1})
+        worker = ChunkWorker("w0", CFG, faults=plan)
+        seen = []
+        drain(worker, queue, lambda t, r, w: seen.append(t.chunk_id))
+        assert len(seen) == 1       # completed one, crashed on second
+        assert not worker.alive
+        assert queue.done == 1
+        assert queue.leased == 1    # abandoned lease, not yet expired
+
+    def test_dead_worker_raises_on_reuse(self):
+        queue = make_queue()
+        plan = FaultPlan(crash_points={"w0": 0})
+        worker = ChunkWorker("w0", CFG, faults=plan)
+        with pytest.raises(WorkerCrashed):
+            worker.run_one(queue, 0.0)
+        with pytest.raises(WorkerCrashed):
+            worker.run_one(queue, 1.0)
+
+    def test_duplicate_delivery_count(self):
+        queue = make_queue()
+        plan = FaultPlan(duplicate_completions={"w0": 2})
+        worker = ChunkWorker("w0", CFG, faults=plan)
+        deliveries = []
+        drain(worker, queue, lambda t, r, w: deliveries.append(t.chunk_id))
+        # 4 chunks; the third (index 2) delivered twice
+        assert len(deliveries) == 5
+        assert deliveries.count(deliveries[2]) == 2
+
+    def test_straggler_advances_clock(self):
+        queue = make_queue()
+        plan = FaultPlan(straggle={"w0": 4.0})
+        worker = ChunkWorker("w0", CFG, faults=plan)
+        end = drain(worker, queue, lambda t, r, w: None, time_per_chunk=1.0)
+        assert end == pytest.approx(16.0)  # 4 chunks x 4x slowdown

@@ -1,0 +1,116 @@
+"""Tests for GF(2)[x] factorization -- the Table 2 class machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.factorize import factor_degrees, factorize, is_squarefree
+from repro.gf2.irreducible import irreducibles, is_irreducible
+from repro.gf2.notation import koopman_to_full
+from repro.gf2.poly import degree, gf2_mul
+
+small_polys = st.integers(min_value=2, max_value=(1 << 20) - 1)
+
+
+def reconstruct(factors: list[tuple[int, int]]) -> int:
+    prod = 1
+    for f, m in factors:
+        for _ in range(m):
+            prod = gf2_mul(prod, f)
+    return prod
+
+
+class TestFactorize:
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    def test_constant_has_no_factors(self):
+        assert factorize(1) == []
+
+    def test_irreducible_is_its_own_factorization(self):
+        assert factorize(0b1011) == [(0b1011, 1)]
+
+    def test_square(self):
+        assert factorize(0b101) == [(0b11, 2)]  # (x+1)^2
+
+    def test_power_of_x(self):
+        assert factorize(0b1000) == [(0b10, 3)]
+
+    def test_mixed_multiplicities(self):
+        # x^2 (x+1)^3 (x^2+x+1)
+        p = gf2_mul(gf2_mul(0b100, gf2_mul(0b11, gf2_mul(0b11, 0b11))), 0b111)
+        assert factorize(p) == [(0b10, 2), (0b11, 3), (0b111, 1)]
+
+    @given(small_polys)
+    @settings(max_examples=300, deadline=None)
+    def test_product_reconstructs(self, p):
+        factors = factorize(p)
+        assert reconstruct(factors) == p
+        for f, _ in factors:
+            assert is_irreducible(f), f"{f:#x} not irreducible"
+
+    @given(st.sampled_from(sorted(irreducibles(5))), st.sampled_from(sorted(irreducibles(7))))
+    def test_two_factor_products(self, a, b):
+        assert factorize(gf2_mul(a, b)) == sorted(
+            [(a, 1), (b, 1)], key=lambda fm: (degree(fm[0]), fm[0])
+        )
+
+    def test_high_multiplicity(self):
+        p = 1
+        for _ in range(5):
+            p = gf2_mul(p, 0b111)
+        assert factorize(p) == [(0b111, 5)]
+
+
+class TestPaperFactorizations:
+    """§3/§5 of the paper: the factorization classes of the studied
+    polynomials, including the exact factors given for 0xBA0DC66B."""
+
+    @pytest.mark.parametrize(
+        "koopman,signature",
+        [
+            (0x82608EDB, (32,)),
+            (0x8F6E37A0, (1, 31)),
+            (0xBA0DC66B, (1, 3, 28)),
+            (0xFA567D89, (1, 1, 15, 15)),
+            (0x992C1A4C, (1, 1, 30)),
+            (0x90022004, (1, 1, 30)),
+            (0xD419CC15, (32,)),
+            (0x80108400, (32,)),
+        ],
+    )
+    def test_class_signatures(self, koopman, signature):
+        assert tuple(factor_degrees(koopman_to_full(koopman))) == signature
+
+    def test_ba0dc66b_exact_factors(self):
+        # §5: (x+1)(x^3+x^2+1)(x^28+x^22+x^20+x^19+x^16+x^14+x^12+x^9+x^8+x^6+1)
+        g = koopman_to_full(0xBA0DC66B)
+        factors = [f for f, _ in factorize(g)]
+        deg28 = sum(1 << e for e in (28, 22, 20, 19, 16, 14, 12, 9, 8, 6, 0))
+        assert factors == [0b11, 0b1101, deg28]
+
+    def test_fa567d89_has_two_distinct_deg15_factors(self):
+        g = koopman_to_full(0xFA567D89)
+        deg15 = [(f, m) for f, m in factorize(g) if degree(f) == 15]
+        assert len(deg15) == 2 and all(m == 1 for _, m in deg15)
+
+    def test_992c1a4c_castagnoli_shape(self):
+        # (x+1)^2 * (degree 30): the {1,1,30} class
+        g = koopman_to_full(0x992C1A4C)
+        factors = factorize(g)
+        assert factors[0] == (0b11, 2)
+        assert degree(factors[1][0]) == 30
+
+
+class TestSquarefree:
+    def test_squarefree_detection(self):
+        assert is_squarefree(0b111)
+        assert not is_squarefree(0b101)  # (x+1)^2
+
+    @given(small_polys)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_factorization(self, p):
+        assert is_squarefree(p) == all(m == 1 for _, m in factorize(p))

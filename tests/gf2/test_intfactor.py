@@ -1,0 +1,96 @@
+"""Tests for the integer factorization helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.intfactor import (
+    divisors,
+    factorize_int,
+    is_prime,
+    moebius,
+    prime_factors,
+)
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 97, 65537, 2**31 - 1, 2**61 - 1])
+    def test_known_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 100, 2**32 - 1, 2**29 - 1, 561, 341])
+    def test_known_composites_and_trivia(self, n):
+        assert not is_prime(n)
+
+    def test_carmichael_numbers(self):
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(n)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=300)
+    def test_matches_trial_division(self, n):
+        naive = all(n % d for d in range(2, int(math.isqrt(n)) + 1))
+        assert is_prime(n) == naive
+
+
+class TestFactorize:
+    def test_one(self):
+        assert factorize_int(1) == {}
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            factorize_int(0)
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (12, {2: 2, 3: 1}),
+            (2**15 - 1, {7: 1, 31: 1, 151: 1}),
+            (2**28 - 1, {3: 1, 5: 1, 29: 1, 43: 1, 113: 1, 127: 1}),
+            (2**30 - 1, {3: 2, 7: 1, 11: 1, 31: 1, 151: 1, 331: 1}),
+            (2**31 - 1, {2147483647: 1}),
+            (2**32 - 1, {3: 1, 5: 1, 17: 1, 257: 1, 65537: 1}),
+        ],
+    )
+    def test_mersenne_style_numbers(self, n, expected):
+        # These are exactly the factorizations order computation needs.
+        assert factorize_int(n) == expected
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    @settings(max_examples=100)
+    def test_product_reconstructs(self, n):
+        f = factorize_int(n)
+        prod = 1
+        for p, e in f.items():
+            assert is_prime(p)
+            prod *= p**e
+        assert prod == n
+
+    def test_prime_factors_sorted(self):
+        assert prime_factors(2**28 - 1) == [3, 5, 29, 43, 113, 127]
+
+
+class TestDivisorsMoebius:
+    def test_divisors_of_28(self):
+        assert divisors(28) == [1, 2, 4, 7, 14, 28]
+
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=100)
+    def test_divisors_divide(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+
+    @pytest.mark.parametrize("n,mu", [(1, 1), (2, -1), (6, 1), (4, 0), (30, -1), (12, 0)])
+    def test_moebius_known(self, n, mu):
+        assert moebius(n) == mu
+
+    @given(st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=50)
+    def test_moebius_sum_over_divisors(self, n):
+        # sum_{d|n} mu(d) == [n == 1]
+        total = sum(moebius(d) for d in divisors(n))
+        assert total == (1 if n == 1 else 0)

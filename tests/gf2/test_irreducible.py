@@ -1,0 +1,87 @@
+"""Tests for irreducibility testing and enumeration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.irreducible import count_irreducibles, irreducibles, is_irreducible
+from repro.gf2.poly import gf2_mul
+
+# Ground truth: all irreducible polynomials of degree <= 4 over GF(2).
+KNOWN_IRREDUCIBLE = {
+    0b10,      # x
+    0b11,      # x+1
+    0b111,     # x^2+x+1
+    0b1011,    # x^3+x+1
+    0b1101,    # x^3+x^2+1
+    0b10011,   # x^4+x+1
+    0b11001,   # x^4+x^3+1
+    0b11111,   # x^4+x^3+x^2+x+1
+}
+
+KNOWN_REDUCIBLE = {
+    0b100,      # x^2
+    0b101,      # (x+1)^2
+    0b110,      # x(x+1)
+    0b1111,     # (x+1)(x^2+x+1)
+    0b1001,     # (x+1)^3
+    0x104C11DB8,  # even constant term
+}
+
+
+class TestIsIrreducible:
+    @pytest.mark.parametrize("p", sorted(KNOWN_IRREDUCIBLE))
+    def test_known_irreducible(self, p):
+        assert is_irreducible(p)
+
+    @pytest.mark.parametrize("p", sorted(KNOWN_REDUCIBLE))
+    def test_known_reducible(self, p):
+        assert not is_irreducible(p)
+
+    def test_constants_are_not_irreducible(self):
+        assert not is_irreducible(0)
+        assert not is_irreducible(1)
+
+    def test_crc32_is_irreducible(self):
+        assert is_irreducible(0x104C11DB7)
+
+    def test_castagnoli_d419cc15_is_irreducible(self):
+        assert is_irreducible((0xD419CC15 << 1) | 1)
+
+    @given(
+        st.sampled_from(sorted(KNOWN_IRREDUCIBLE - {0b10, 0b11})),
+        st.sampled_from(sorted(KNOWN_IRREDUCIBLE - {0b10, 0b11})),
+    )
+    def test_products_are_reducible(self, a, b):
+        assert not is_irreducible(gf2_mul(a, b))
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("d,expected", [(1, 2), (2, 1), (3, 2), (4, 3), (5, 6), (6, 9), (7, 18), (8, 30)])
+    def test_counts_match_formula(self, d, expected):
+        listed = list(irreducibles(d))
+        assert len(listed) == expected
+        assert count_irreducibles(d) == expected
+
+    def test_enumeration_degree_3(self):
+        assert set(irreducibles(3)) == {0b1011, 0b1101}
+
+    def test_all_enumerated_are_irreducible(self):
+        for d in range(1, 9):
+            for f in irreducibles(d):
+                assert is_irreducible(f), hex(f)
+
+    def test_paper_degree_28_count(self):
+        # Used implicitly by Table 2's class sizes; formula only (no
+        # enumeration at this degree).
+        assert count_irreducibles(28) == 9586395
+
+    def test_degree_31_count_paper_context(self):
+        # The paper notes ~6.93e7 {1,31} candidates with primitive
+        # degree-31 factor; the number of *irreducible* degree-31
+        # polynomials is (2^31 - 2)/31, all of which are primitive
+        # because 2^31 - 1 is (Mersenne) prime.
+        assert count_irreducibles(31) == ((1 << 31) - 2) // 31
+        assert count_irreducibles(31) == 69273666

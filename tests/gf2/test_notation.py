@@ -1,0 +1,115 @@
+"""Tests for polynomial notation conversions -- anchored on the
+paper's own worked examples."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.notation import (
+    class_signature_str,
+    exponents,
+    factor_strs,
+    from_exponents,
+    full_to_koopman,
+    full_to_normal,
+    full_to_reflected,
+    koopman_to_full,
+    normal_to_full,
+    poly_str,
+    reciprocal_koopman,
+)
+
+koopman32 = st.integers(min_value=1 << 31, max_value=(1 << 32) - 1)
+
+
+class TestKoopmanNotation:
+    def test_paper_8023_example(self):
+        # "We represent this polynomial as ... 0x82608EDB" with the
+        # exponent list given in §3.
+        exps = [32, 26, 23, 22, 16, 12, 11, 10, 8, 7, 5, 4, 2, 1, 0]
+        full = from_exponents(exps)
+        assert full_to_koopman(full) == 0x82608EDB
+        assert full == 0x104C11DB7
+
+    def test_paper_ba0dc66b_expansion(self):
+        # §5's full expansion of the headline polynomial.
+        exps = [32, 30, 29, 28, 26, 20, 19, 17, 16, 15, 11, 10, 7, 6, 4, 2, 1, 0]
+        assert koopman_to_full(0xBA0DC66B) == from_exponents(exps)
+
+    @given(koopman32)
+    def test_roundtrip(self, k):
+        assert full_to_koopman(koopman_to_full(k)) == k
+
+    def test_rejects_missing_top_bit(self):
+        with pytest.raises(ValueError):
+            koopman_to_full(0x7FFFFFFF)
+
+    def test_rejects_missing_plus_one(self):
+        with pytest.raises(ValueError):
+            full_to_koopman(0x104C11DB6)
+
+
+class TestNormalReflected:
+    def test_crc32_conventions(self):
+        full = 0x104C11DB7
+        assert full_to_normal(full) == 0x04C11DB7
+        assert full_to_reflected(full) == 0xEDB88320
+        assert normal_to_full(0x04C11DB7, 32) == full
+
+    def test_crc32c_conventions(self):
+        full = normal_to_full(0x1EDC6F41, 32)
+        assert full_to_reflected(full) == 0x82F63B78
+
+    @given(koopman32)
+    def test_normal_roundtrip(self, k):
+        full = koopman_to_full(k)
+        assert normal_to_full(full_to_normal(full), 32) == full
+
+    @given(koopman32)
+    def test_reflected_involution(self, k):
+        full = koopman_to_full(k)
+        r = full_to_reflected(full)
+        # reflecting the reflected normal form returns the original
+        assert full_to_reflected(normal_to_full(r, 32)) == full_to_normal(full)
+
+
+class TestExponents:
+    @given(st.sets(st.integers(min_value=0, max_value=80), min_size=1))
+    def test_roundtrip(self, exps):
+        p = from_exponents(sorted(exps))
+        assert set(exponents(p)) == exps
+
+    def test_duplicate_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            from_exponents([3, 3])
+
+    def test_poly_str(self):
+        assert poly_str(0b1011) == "x^3 + x + 1"
+        assert poly_str(0b11) == "x + 1"
+        assert poly_str(1) == "1"
+        assert poly_str(0) == "0"
+
+
+class TestClassStrings:
+    def test_paper_classes(self):
+        assert class_signature_str(koopman_to_full(0xBA0DC66B)) == "{1,3,28}"
+        assert class_signature_str(koopman_to_full(0xFA567D89)) == "{1,1,15,15}"
+
+    def test_factor_strs_ba0dc66b(self):
+        strs = factor_strs(koopman_to_full(0xBA0DC66B))
+        assert strs[0] == "x + 1"
+        assert strs[1] == "x^3 + x^2 + 1"
+        assert strs[2].startswith("x^28 + x^22 + x^20 + x^19")
+
+
+class TestReciprocalKoopman:
+    @given(koopman32)
+    @settings(max_examples=100)
+    def test_involution(self, k):
+        assert reciprocal_koopman(reciprocal_koopman(k)) == k
+
+    def test_self_reciprocal_example(self):
+        # 0xD419CC15's full encoding is a palindrome (seen in reports).
+        assert reciprocal_koopman(0xD419CC15) == 0xD419CC15

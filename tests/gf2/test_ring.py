@@ -1,0 +1,125 @@
+"""Tests for the GF2Poly wrapper class."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.ring import GF2Poly
+
+raw = st.integers(min_value=0, max_value=(1 << 40) - 1)
+nonzero = st.integers(min_value=1, max_value=(1 << 40) - 1)
+
+
+class TestConstruction:
+    def test_constants(self):
+        assert GF2Poly.zero().bits == 0
+        assert GF2Poly.one().bits == 1
+        assert GF2Poly.x().bits == 2
+
+    def test_from_exponents(self):
+        g = GF2Poly.from_exponents([3, 1, 0])
+        assert g.bits == 0b1011
+        assert g.exponents == [3, 1, 0]
+
+    def test_from_koopman(self):
+        assert GF2Poly.from_koopman(0x82608EDB).bits == 0x104C11DB7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GF2Poly(-1)
+
+    def test_immutable(self):
+        g = GF2Poly(5)
+        with pytest.raises(AttributeError):
+            g.bits = 7  # type: ignore[misc]
+
+
+class TestArithmetic:
+    def test_docstring_identity(self):
+        g = GF2Poly.from_exponents([3, 1, 0])
+        x = GF2Poly.x()
+        assert x**3 + x + GF2Poly.one() == g
+
+    def test_divmod(self):
+        x = GF2Poly.x()
+        g = GF2Poly(0b1011)
+        q, r = divmod(x**5, g)
+        assert q * g + r == x**5
+        assert r.degree < g.degree
+
+    @given(raw, raw)
+    @settings(max_examples=150)
+    def test_add_matches_xor(self, a, b):
+        assert (GF2Poly(a) + GF2Poly(b)).bits == a ^ b
+
+    @given(raw, nonzero)
+    @settings(max_examples=150)
+    def test_mod_floordiv_consistent(self, a, b):
+        pa, pb = GF2Poly(a), GF2Poly(b)
+        assert (pa // pb) * pb + (pa % pb) == pa
+
+    def test_pow(self):
+        assert (GF2Poly(0b11) ** 2).bits == 0b101
+        with pytest.raises(ValueError):
+            GF2Poly(0b11) ** -1
+
+    def test_pow_mod(self):
+        g = GF2Poly(0b1011)
+        assert GF2Poly.x().pow_mod(3, g).bits == 0b011
+
+    @given(nonzero, nonzero)
+    @settings(max_examples=100)
+    def test_gcd_divides(self, a, b):
+        g = GF2Poly(a).gcd(GF2Poly(b))
+        assert g.divides(GF2Poly(a)) and g.divides(GF2Poly(b))
+
+
+class TestAnalysis:
+    def test_factor_and_rebuild(self):
+        p = GF2Poly(0b101011)  # (x+1)(x^4+x^3+1)
+        prod = GF2Poly.one()
+        for f, m in p.factor():
+            for _ in range(m):
+                prod = prod * f
+        assert prod == p
+
+    def test_irreducible_primitive(self):
+        crc32 = GF2Poly.from_koopman(0x82608EDB)
+        assert crc32.is_irreducible()
+        assert crc32.is_primitive()
+        assert crc32.order_of_x() == 2**32 - 1
+
+    def test_reciprocal_involution(self):
+        p = GF2Poly(0x107)
+        assert p.reciprocal().reciprocal() == p
+
+    def test_evaluation(self):
+        p = GF2Poly(0b1011)  # odd number of terms
+        assert p(1) == 1 and p(0) == 1
+        even = GF2Poly(0b11)
+        assert even(1) == 0
+        with pytest.raises(ValueError):
+            p(2)
+
+    def test_weight_and_derivative(self):
+        p = GF2Poly(0b1111)
+        assert p.weight == 4
+        assert p.derivative().bits == 0b101
+
+
+class TestDunder:
+    def test_ordering_and_hash(self):
+        a, b = GF2Poly(3), GF2Poly(5)
+        assert a < b
+        assert len({a, b, GF2Poly(3)}) == 2
+
+    def test_bool(self):
+        assert not GF2Poly.zero()
+        assert GF2Poly.one()
+
+    def test_repr_str(self):
+        g = GF2Poly(0b1011)
+        assert str(g) == "x^3 + x + 1"
+        assert "GF2Poly" in repr(g)

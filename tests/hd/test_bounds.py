@@ -1,0 +1,97 @@
+"""Tests for the theoretical HD bounds (Hamming / Singleton)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hd.bounds import (
+    bound_vs_achieved,
+    hamming_bound_ok,
+    max_length_for_theoretical_hd,
+    max_theoretical_hd,
+    singleton_bound_ok,
+)
+
+
+class TestPaperStatements:
+    def test_abstract_hd6_maximum_at_mtu(self):
+        # "whereas HD=6 is possible" + nothing better: the abstract's
+        # "theoretical maximum" is the Hamming bound at 12112 bits
+        assert max_theoretical_hd(32, 12112) == 6
+        assert not hamming_bound_ok(32, 12112, 7)
+
+    def test_achieved_hd_never_exceeds_bound(self):
+        # every Table 1 claim obeys the bound at its band end
+        from repro.crc.catalog import PAPER_POLYS
+
+        for key, pp in PAPER_POLYS.items():
+            for hd, last_len in pp.hd_breaks.items():
+                assert max_theoretical_hd(32, last_len) >= hd, (key, hd)
+
+    def test_search_limits_sit_below_bound(self):
+        # the exhaustive search's global limits (HD=6 to 32,738;
+        # HD=5 to 65,506) are far below the sphere-packing ceiling --
+        # the bound is not tight for cyclic codes here
+        rows = dict(
+            (hd, (bound, found)) for hd, bound, found in bound_vs_achieved()
+        )
+        assert rows[6][0] > rows[6][1]
+        assert rows[5][0] > rows[5][1]
+        # ...but HD=3 is tight: a primitive polynomial is a shortened
+        # Hamming code, perfect at its natural length
+        assert rows[3][0] == rows[3][1] == 2**32 - 33
+
+
+class TestBoundMechanics:
+    def test_singleton(self):
+        assert singleton_bound_ok(32, 33)
+        assert not singleton_bound_ok(32, 34)
+
+    def test_d1_always_ok(self):
+        assert hamming_bound_ok(8, 10**6, 1)
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            hamming_bound_ok(8, 10, 0)
+
+    def test_hamming_code_is_tight(self):
+        # r=3 Hamming code: d=3 at exactly n=4 data bits (length 7)
+        assert max_length_for_theoretical_hd(3, 3) == 4
+        assert hamming_bound_ok(3, 4, 3)
+        assert not hamming_bound_ok(3, 5, 3)
+
+    @given(st.integers(min_value=3, max_value=16),
+           st.integers(min_value=1, max_value=2000),
+           st.integers(min_value=2, max_value=9))
+    @settings(max_examples=150)
+    def test_monotone_in_length(self, r, n, d):
+        # allowing a longer word never makes a distance feasible again
+        if not hamming_bound_ok(r, n, d):
+            assert not hamming_bound_ok(r, n + 1, d)
+
+    @given(st.integers(min_value=3, max_value=16),
+           st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=100)
+    def test_max_hd_consistent_with_ok(self, r, n):
+        d = max_theoretical_hd(r, n)
+        assert hamming_bound_ok(r, n, d)
+        if d < r + 1:
+            assert not (hamming_bound_ok(r, n, d + 1)
+                        and singleton_bound_ok(r, d + 1))
+
+    def test_binary_search_limit(self):
+        for d in (3, 4, 5, 6):
+            limit = max_length_for_theoretical_hd(32, d)
+            assert hamming_bound_ok(32, limit, d)
+            assert not hamming_bound_ok(32, limit + 1, d)
+
+
+class TestAgainstMeasuredHd:
+    def test_crc8_measured_vs_bound(self):
+        from repro.hd.hamming import hamming_distance
+
+        for n in (10, 30, 60, 100):
+            measured = hamming_distance(0x107, n, k_max=10)
+            assert measured <= max_theoretical_hd(8, n)

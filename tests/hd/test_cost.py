@@ -1,0 +1,65 @@
+"""Cost-model tests, anchored on the paper's own arithmetic."""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+
+from repro.hd.cost import (
+    EnvelopeError,
+    check_envelope,
+    enumeration_cost,
+    enumeration_speedup,
+    mitm_cost,
+    mitm_sorted_side,
+)
+
+
+class TestEnumerationCost:
+    def test_paper_weight6_count(self):
+        # §3: "all combinations of 12144 bits taken 6 at a time
+        # (4.45e21)"
+        assert enumeration_cost(12144, 6) == comb(12144, 6)
+        assert abs(enumeration_cost(12144, 6) / 4.45e21 - 1) < 0.01
+
+    def test_paper_weight4_count(self):
+        # §3's "906 10^12" (typeset-garbled) count of possible 4-bit
+        # errors across a 12144-bit codeword: C(12144,4) ~ 9.06e14.
+        assert abs(enumeration_cost(12144, 4) / 9.058e14 - 1) < 0.01
+
+    def test_paper_17500x_speedup(self):
+        # §4.1: filtering at 1024 bits "almost 17,500 times faster"
+        # than at 12112 bits.
+        s = enumeration_speedup(1024 + 32, 12112 + 32, 4)
+        assert 17000 < s < 17600
+
+
+class TestMitmCost:
+    def test_exponent_halving(self):
+        # weight-5 checks stream pairs, not quadruples
+        assert mitm_cost(1000, 5) == comb(999, 2)
+        assert mitm_sorted_side(1000, 5) == comb(999, 2)
+
+    def test_weight4_asymmetric_split(self):
+        assert mitm_sorted_side(1000, 4) == comb(999, 1)
+        assert mitm_cost(1000, 4) == comb(999, 2)
+
+    def test_ba0dc66b_check_is_feasible(self):
+        # the paper's "19 days" confirmation at 16360 bits is ~1.3e8
+        # streamed elements for the MITM engine
+        work = mitm_cost(16360 + 32, 4)
+        assert work < 2e8
+
+
+class TestEnvelope:
+    def test_within(self):
+        check_envelope(1000, 5)
+
+    def test_memory_exceeded(self):
+        with pytest.raises(EnvelopeError, match="sorted side"):
+            check_envelope(100_000, 5, mem_elems=10**6)
+
+    def test_stream_exceeded(self):
+        with pytest.raises(EnvelopeError, match="streams"):
+            check_envelope(100_000, 6, mem_elems=10**18, stream_elems=10**9)

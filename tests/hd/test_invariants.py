@@ -1,0 +1,67 @@
+"""Tests for the §4.5 validation invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hd.invariants import (
+    InvariantViolation,
+    WeightMonitor,
+    check_monotonic_weights,
+    check_parity_invariant,
+)
+
+
+class TestParityInvariant:
+    def test_parity_poly_with_zero_odd_weights_passes(self):
+        check_parity_invariant(0x107, {2: 0, 3: 0, 4: 7})
+
+    def test_parity_poly_with_nonzero_odd_weight_raises(self):
+        with pytest.raises(InvariantViolation, match="W3=1"):
+            check_parity_invariant(0x107, {2: 0, 3: 1, 4: 7})
+
+    def test_non_parity_poly_unconstrained(self):
+        check_parity_invariant(0b1011, {3: 99})
+
+
+class TestMonotonicity:
+    def test_nondecreasing_passes(self):
+        check_monotonic_weights([(10, {4: 1}), (20, {4: 1}), (30, {4: 8})])
+
+    def test_decrease_raises(self):
+        with pytest.raises(InvariantViolation, match="W4 decreased"):
+            check_monotonic_weights([(10, {4: 5}), (20, {4: 3})])
+
+    def test_unordered_input_is_sorted(self):
+        check_monotonic_weights([(30, {4: 9}), (10, {4: 1})])
+
+    def test_disjoint_keys_ignored(self):
+        check_monotonic_weights([(10, {3: 5}), (20, {4: 1})])
+
+
+class TestMonitor:
+    def test_accumulates(self):
+        m = WeightMonitor(0x107)
+        m.observe(10, {2: 0, 3: 0, 4: 0})
+        m.observe(20, {2: 0, 3: 0, 4: 3})
+        assert m.checks_passed == 2
+
+    def test_catches_regression(self):
+        m = WeightMonitor(0x107)
+        m.observe(20, {4: 5})
+        with pytest.raises(InvariantViolation):
+            m.observe(30, {4: 4})
+
+    def test_real_weights_pass(self):
+        from repro.hd.weights import weight_profile
+
+        m = WeightMonitor(0x107)
+        for n in (20, 40, 80, 110):
+            m.observe(n, weight_profile(0x107, n, 4))
+        assert m.checks_passed == 4
+
+    def test_counter_overflow_detection(self):
+        # The paper's war story: a 32-bit counter would have wrapped.
+        m = WeightMonitor(0x107)
+        with pytest.raises(InvariantViolation, match="overflow"):
+            m.saturating_observe(50, {4: 1 << 33}, bits=32)

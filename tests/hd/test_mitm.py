@@ -1,0 +1,149 @@
+"""MITM engine vs brute force: the critical cross-validation.
+
+Every behaviour of the fast engine is checked against direct
+enumeration on small windows, across random generators -- the same
+"simple code vs optimized code" validation the paper performed (§4.5).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.poly import degree
+from repro.hd.mitm import (
+    exists_weight_k,
+    find_witness,
+    minimal_codeword_span,
+    windowed_witness,
+)
+from repro.hd.syndromes import syndrome_of_positions, syndrome_table
+from repro.hd.cost import EnvelopeError
+
+gen_polys = st.integers(min_value=0b1001, max_value=(1 << 13) - 1).filter(
+    lambda p: p & 1
+)
+
+
+def brute_exists(g: int, N: int, k: int) -> bool:
+    syn = [int(s) for s in syndrome_table(g, N)]
+    for combo in combinations(range(N), k):
+        acc = 0
+        for p in combo:
+            acc ^= syn[p]
+        if acc == 0:
+            return True
+    return False
+
+
+def brute_min_span(g: int, N: int, k: int) -> int | None:
+    best = None
+    syn = [int(s) for s in syndrome_table(g, N)]
+    for combo in combinations(range(N), k):
+        acc = 0
+        for p in combo:
+            acc ^= syn[p]
+        if acc == 0:
+            span = combo[-1] - combo[0] + 1
+            best = span if best is None else min(best, span)
+    return best
+
+
+class TestExistsAgainstBruteForce:
+    @given(gen_polys, st.integers(min_value=6, max_value=22),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=200, deadline=None)
+    def test_agreement(self, g, N, k):
+        # ascending-k precondition: only test k if no lower even-gap
+        # weight exists (mirrors how drivers call it)
+        for j in range(2, k):
+            if brute_exists(g, N, j):
+                return
+        assert exists_weight_k(g, N, k) == brute_exists(g, N, k)
+
+    def test_doctest_case(self):
+        assert exists_weight_k(0b10011, 8, 3)
+
+    def test_window_smaller_than_weight(self):
+        assert not exists_weight_k(0b10011, 2, 3)
+
+    def test_weight_2_is_order_based(self):
+        # x^2+x+1 has order 3: weight-2 codeword x^3+1 needs 4 positions
+        assert not exists_weight_k(0b111, 3, 2)
+        assert exists_weight_k(0b111, 4, 2)
+
+
+class TestWitness:
+    @given(gen_polys, st.integers(min_value=6, max_value=20),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=150, deadline=None)
+    def test_witness_is_verified_codeword(self, g, N, k):
+        for j in range(2, k):
+            if brute_exists(g, N, j):
+                return
+        w = find_witness(g, N, k)
+        if brute_exists(g, N, k):
+            assert w is not None
+            assert len(w) == k
+            assert len(set(w)) == k
+            assert max(w) < N
+            assert syndrome_of_positions(g, w) == 0
+        else:
+            assert w is None
+
+    def test_weight2_witness(self):
+        w = find_witness(0b111, 5, 2)
+        assert w is not None and syndrome_of_positions(g=0b111, positions=w) == 0
+
+
+class TestWindowedWitness:
+    @given(gen_polys, st.integers(min_value=16, max_value=64),
+           st.integers(min_value=3, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_any_result_is_a_codeword(self, g, N, k):
+        w = windowed_witness(g, N, k, window=min(N, 24))
+        if w is not None:
+            assert len(set(w)) == k
+            assert syndrome_of_positions(g, w) == 0
+
+    def test_finds_in_dense_regime(self):
+        # CRC-8 0x107 at 120 bits: weight-4 codewords are plentiful
+        # (weight-3 are impossible -- it is divisible by (x+1)).
+        g = 0x107
+        w = windowed_witness(g, 120, 4, window=120)
+        assert w is not None
+        # non-parity generator: weight-3 dense regime
+        g2 = 0b100011101  # 0x11D, 5 terms, not divisible by (x+1)
+        w3 = windowed_witness(g2, 120, 3, window=120)
+        assert w3 is not None
+
+    def test_envelope_guard(self):
+        with pytest.raises(EnvelopeError):
+            windowed_witness(0x107, 4000, 6, window=4000, mem_elems=1000)
+
+
+class TestMinimalSpan:
+    @given(gen_polys, st.integers(min_value=8, max_value=20),
+           st.integers(min_value=3, max_value=4))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, g, N, k):
+        for j in range(2, k):
+            if brute_exists(g, N, j):
+                return
+        assert minimal_codeword_span(g, N, k) == brute_min_span(g, N, k)
+
+    def test_weight2_span_is_order_plus_one(self):
+        # x^2+x+1: shortest weight-2 codeword is x^3+1, span 4
+        assert minimal_codeword_span(0b111, 10, 2) == 4
+
+    def test_none_when_absent(self):
+        # primitive degree-4: no weight-2 codeword within 10 bits
+        assert minimal_codeword_span(0b10011, 10, 2) is None
+
+    def test_generator_span_found(self):
+        # The generator itself is always the, or a, short codeword.
+        g = 0x107  # weight 4, span 9
+        assert minimal_codeword_span(g, 40, 4) <= 9

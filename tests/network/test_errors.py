@@ -1,0 +1,112 @@
+"""Error model tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.errors import (
+    BernoulliBitErrors,
+    BurstError,
+    FixedWeightErrors,
+    apply_error,
+)
+
+
+class TestBernoulli:
+    def test_zero_ber_is_clean(self):
+        model = BernoulliBitErrors(0.0, seed=1)
+        assert all(model.sample(1000) == () for _ in range(50))
+
+    def test_positions_in_range_and_distinct(self):
+        model = BernoulliBitErrors(0.01, seed=2)
+        for _ in range(200):
+            pos = model.sample(500)
+            assert len(set(pos)) == len(pos)
+            assert all(0 <= p < 500 for p in pos)
+
+    def test_mean_flip_count_tracks_ber(self):
+        model = BernoulliBitErrors(0.002, seed=3)
+        n, trials = 2000, 2000
+        total = sum(len(model.sample(n)) for _ in range(trials))
+        expected = n * 0.002 * trials
+        assert abs(total - expected) / expected < 0.15
+
+    def test_high_rate_normal_path(self):
+        model = BernoulliBitErrors(0.2, seed=4)
+        n = 4000
+        counts = [len(model.sample(n)) for _ in range(50)]
+        mean = sum(counts) / len(counts)
+        assert abs(mean - 800) / 800 < 0.1
+
+    def test_invalid_ber(self):
+        with pytest.raises(ValueError):
+            BernoulliBitErrors(1.5)
+
+    def test_deterministic_with_seed(self):
+        a = [BernoulliBitErrors(0.01, seed=9).sample(300) for _ in range(5)]
+        b = [BernoulliBitErrors(0.01, seed=9).sample(300) for _ in range(5)]
+        assert a == b
+
+
+class TestBurst:
+    def test_single_bit(self):
+        assert BurstError(7, 1).positions() == (7,)
+
+    def test_endpoints_always_set(self):
+        b = BurstError(10, 8, interior_pattern=0)
+        assert b.positions() == (10, 17)
+
+    def test_full_burst(self):
+        assert BurstError(3, 4).positions() == (3, 4, 5, 6)
+
+    def test_interior_pattern(self):
+        b = BurstError(0, 5, interior_pattern=0b101)
+        assert b.positions() == (0, 1, 3, 4)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            BurstError(0, 0).positions()
+
+
+class TestFixedWeight:
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30)
+    def test_weight_exact(self, w):
+        model = FixedWeightErrors(w, seed=5)
+        for _ in range(20):
+            pos = model.sample(100)
+            assert len(pos) == w
+            assert len(set(pos)) == w
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            FixedWeightErrors(0)
+
+
+class TestApplyError:
+    def test_flip_lsb_of_last_byte(self):
+        out = apply_error(b"\x00\x00", (0,))
+        assert out == b"\x00\x01"
+
+    def test_flip_msb_of_first_byte(self):
+        out = apply_error(b"\x00\x00", (15,))
+        assert out == b"\x80\x00"
+
+    def test_double_flip_restores(self):
+        frame = b"\xde\xad\xbe\xef"
+        assert apply_error(apply_error(frame, (5,)), (5,)) == frame
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            apply_error(b"\x00", (8,))
+
+    @given(st.binary(min_size=1, max_size=20),
+           st.sets(st.integers(min_value=0, max_value=159), min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_involution(self, frame, positions):
+        positions = tuple(p for p in positions if p < len(frame) * 8)
+        if not positions:
+            return
+        assert apply_error(apply_error(frame, positions), positions) == frame

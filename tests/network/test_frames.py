@@ -1,0 +1,93 @@
+"""Frame model tests -- the paper's exact bit accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crc.catalog import get_spec
+from repro.network.frames import (
+    ACK_DATA_WORD_BITS,
+    DATA512_DATA_WORD_BITS,
+    JUMBO_DATA_WORD_BITS,
+    MTU_DATA_WORD_BITS,
+    EthernetFrame,
+    IscsiPdu,
+    data_word_bits_for_payload,
+    figure1_marks,
+)
+
+
+class TestPaperLengths:
+    def test_mtu_is_12112(self):
+        assert MTU_DATA_WORD_BITS == 12112
+        assert MTU_DATA_WORD_BITS + 32 == 12144  # the codeword length
+
+    def test_jumbo_is_72112(self):
+        assert JUMBO_DATA_WORD_BITS == 72112
+
+    def test_ack_and_data_sizes(self):
+        assert ACK_DATA_WORD_BITS == 400
+        assert DATA512_DATA_WORD_BITS == 4496
+
+    def test_payload_mapping(self):
+        assert data_word_bits_for_payload(1500) == 12112
+        assert data_word_bits_for_payload(9000) == 72112
+        with pytest.raises(ValueError):
+            data_word_bits_for_payload(-1)
+
+    def test_figure1_marks_present(self):
+        marks = figure1_marks()
+        assert marks["1 MTU"] == 12112
+        assert marks["40B ack packet"] == 400
+        assert set(marks) >= {"2 MTU", "4 MTU", "8 MTU"}
+
+
+class TestEthernetFrame:
+    def make(self, payload=b"\x00" * 1500):
+        return EthernetFrame(
+            dst=b"\xff" * 6, src=b"\x02" + b"\x00" * 5, ethertype=0x0800,
+            payload=payload,
+        )
+
+    def test_mtu_frame_bit_count(self):
+        assert self.make().data_word_bits == 12112
+
+    def test_wire_roundtrip(self):
+        spec = get_spec("CRC-32/IEEE-802.3")
+        frame = self.make(b"hello")
+        wire = frame.to_wire(spec)
+        assert EthernetFrame.check_wire(spec, wire)
+        assert len(wire) == 14 + 5 + 4
+
+    def test_corruption_detected(self):
+        spec = get_spec("CRC-32/IEEE-802.3")
+        wire = bytearray(self.make(b"payload").to_wire(spec))
+        wire[3] ^= 0x40
+        assert not EthernetFrame.check_wire(spec, bytes(wire))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(dst=b"\x00", src=b"\x00" * 6, ethertype=0, payload=b"")
+        with pytest.raises(ValueError):
+            EthernetFrame(dst=b"\x00" * 6, src=b"\x00" * 6, ethertype=1 << 16, payload=b"")
+
+
+class TestIscsiPdu:
+    def test_packed_mtus(self):
+        pdu = IscsiPdu.packed_mtus(8)
+        assert pdu.data_word_bits == (48 + 8 * 1500) * 8
+
+    def test_multi_mtu_exceeds_64k(self):
+        # the motivation for HD=4 beyond 64K bits (§4.3)
+        assert IscsiPdu.packed_mtus(6).data_word_bits > 65536
+
+    def test_bhs_length_enforced(self):
+        with pytest.raises(ValueError):
+            IscsiPdu(bhs=b"\x00" * 47)
+
+    def test_wire(self):
+        spec = get_spec("CRC-32C/Castagnoli")
+        pdu = IscsiPdu(data_segment=b"disk block")
+        from repro.crc.codeword import check_fcs
+
+        assert check_fcs(spec, pdu.to_wire(spec))

@@ -1,0 +1,102 @@
+"""Monte Carlo undetected-error tests, cross-validated against exact
+weights (the link between the network substrate and repro.hd)."""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+
+from repro.hd.weights import weight_profile
+from repro.network.errors import BernoulliBitErrors, FixedWeightErrors
+from repro.network.montecarlo import (
+    analytic_pud,
+    detected_all_bursts,
+    simulate_undetected,
+)
+
+
+class TestBurstGuarantee:
+    @pytest.mark.parametrize("g", [0x107, 0x131, 0x11021])
+    def test_all_short_bursts_detected(self, g):
+        assert detected_all_bursts(g, 40)
+
+    def test_burst_longer_than_r_can_evade(self):
+        # the generator itself is an undetectable "burst" of length
+        # deg+1 -- confirming the guarantee is tight
+        from repro.hd.syndromes import is_undetected_pattern
+
+        g = 0x107
+        positions = tuple(i for i in range(9) if (g >> i) & 1)
+        assert is_undetected_pattern(g, positions)
+
+
+class TestFixedWeightAgainstExactW4:
+    def test_rate_matches_w4_over_choose(self):
+        # For weight-4 errors on 0x107 at n=52 (N=60), the undetected
+        # fraction must track W4 / C(60, 4).
+        g, n = 0x107, 52
+        N = n + 8
+        w4 = weight_profile(g, n, 4)[4]
+        expected = w4 / comb(N, 4)
+        model = FixedWeightErrors(4, seed=11)
+        res = simulate_undetected(g, n, model, trials=60_000)
+        assert res.corrupted == 60_000
+        got = res.p_undetected_given_corrupted
+        assert abs(got - expected) / expected < 0.25
+
+    def test_weight2_and_3_never_undetected_below_breakpoints(self):
+        g, n = 0x107, 80  # HD=4 region
+        for w in (2, 3):
+            res = simulate_undetected(g, n, FixedWeightErrors(w, seed=3), trials=20_000)
+            assert res.undetected == 0
+
+
+class TestFramePathAgreement:
+    def test_syndrome_and_frame_paths_agree(self):
+        g, n = 0x107, 64  # byte-aligned
+        for seed in (1, 2):
+            fast = simulate_undetected(
+                g, n, FixedWeightErrors(4, seed=seed), trials=4000
+            )
+            slow = simulate_undetected(
+                g, n, FixedWeightErrors(4, seed=seed), trials=4000, via_frames=True
+            )
+            assert fast.undetected == slow.undetected
+            assert fast.detected == slow.detected
+
+    def test_via_frames_requires_alignment(self):
+        with pytest.raises(ValueError):
+            simulate_undetected(
+                0x107, 13, FixedWeightErrors(2, seed=1), trials=10, via_frames=True
+            )
+
+
+class TestAnalyticPud:
+    def test_zero_weights_zero_pud(self):
+        assert analytic_pud({2: 0, 3: 0, 4: 0}, 1000, 1e-6) == 0.0
+
+    def test_single_term(self):
+        pud = analytic_pud({4: 10}, 100, 0.01)
+        assert pud == pytest.approx(10 * 0.01**4 * 0.99**96)
+
+    def test_bernoulli_simulation_tracks_analytic(self):
+        # BER chosen so a few dozen undetected events are expected
+        # (statistical power) while the exact W2..W4 expansion still
+        # dominates P_ud (truncation error ~10%).
+        g, n, ber = 0x107, 80, 0.02
+        N = n + 8
+        weights = weight_profile(g, n, 4)
+        pud = analytic_pud(weights, N, ber)
+        p_corrupt = 1 - (1 - ber) ** N
+        expected_cond = pud / p_corrupt
+        res = simulate_undetected(
+            g, n, BernoulliBitErrors(ber, seed=21), trials=200_000
+        )
+        got = res.p_undetected_given_corrupted
+        assert res.undetected >= 10  # statistically meaningful
+        assert expected_cond / 2 < got < expected_cond * 2.5
+
+    def test_tail_bound_increases(self):
+        w = {4: 100}
+        assert analytic_pud(w, 200, 0.01, tail_bound=True) > analytic_pud(w, 200, 0.01)

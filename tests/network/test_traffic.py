@@ -1,0 +1,80 @@
+"""Tests for traffic-mix exposure analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gf2.notation import koopman_to_full
+from repro.network.traffic import (
+    TrafficClass,
+    compare_exposure,
+    exposure,
+    internet_mix,
+)
+
+SMALL_MIX = [
+    TrafficClass("short", 40, 0.7),
+    TrafficClass("long", 110, 0.3),
+]
+
+
+class TestTrafficClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficClass("bad", 0, 0.5)
+        with pytest.raises(ValueError):
+            TrafficClass("bad", 10, 0.0)
+
+    def test_internet_mix_sums_to_one(self):
+        assert sum(tc.fraction for tc in internet_mix()) == pytest.approx(1.0)
+        assert {tc.data_word_bits for tc in internet_mix()} == {400, 4496, 12112}
+
+
+class TestExposure:
+    def test_crc8_exposure(self):
+        rep = exposure(0x107, SMALL_MIX)
+        assert rep.min_hd == 4
+        assert rep.per_class["short"]["hd"] == 4
+        assert rep.per_class["short"]["w4"] > 0
+        assert rep.weighted_w4_rate > 0
+
+    def test_weighting(self):
+        rep = exposure(0x107, SMALL_MIX)
+        short = rep.per_class["short"]["w4_rate"]
+        long_ = rep.per_class["long"]["w4_rate"]
+        assert rep.weighted_w4_rate == pytest.approx(0.7 * short + 0.3 * long_)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError):
+            exposure(0x107, [TrafficClass("only", 40, 0.5)])
+
+    def test_render(self):
+        text = exposure(0x107, SMALL_MIX).render()
+        assert "worst-case HD" in text
+        assert "short" in text
+
+
+class TestHd6Advantage:
+    def test_zero_w4_for_hd6_poly_on_mix(self):
+        # On the short leg of the mix, a HD=6 polynomial's 4-bit miss
+        # rate is exactly zero; 802.3's is not.
+        mix = [TrafficClass("ack", 400, 1.0)]
+        g_8023 = koopman_to_full(0x82608EDB)
+        g_ba0d = koopman_to_full(0xBA0DC66B)
+        assert exposure(g_ba0d, mix).weighted_w4_rate == 0.0
+        assert exposure(g_8023, mix).weighted_w4_rate == 0.0  # HD=5 at 400
+        mix_longer = [TrafficClass("data", 3000, 1.0)]
+        assert exposure(g_8023, mix_longer).weighted_w4_rate > 0.0
+        assert exposure(g_ba0d, mix_longer).weighted_w4_rate == 0.0
+
+    def test_compare_table(self):
+        mix = [TrafficClass("data", 3000, 1.0)]
+        table = compare_exposure(
+            {"802.3": koopman_to_full(0x82608EDB),
+             "BA0DC66B": koopman_to_full(0xBA0DC66B)},
+            mix,
+        )
+        lines = table.splitlines()
+        # the guaranteed-zero polynomial sorts first
+        assert "BA0DC66B" in lines[2]
+        assert "guaranteed" in lines[2]

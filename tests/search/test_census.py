@@ -1,0 +1,67 @@
+"""Class census (Table 2 machinery) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gf2.notation import koopman_to_full
+from repro.gf2.poly import gf2_mul
+from repro.search.census import ClassCensus, census_of, fewest_taps, koopman_summary
+from repro.search.exhaustive import SearchConfig, search_all
+
+
+class TestCensusBasics:
+    def test_single_poly(self):
+        c = census_of([0b101011])  # (x+1)(x^4+x^3+1)
+        assert c.counts == {(1, 4): 1}
+        assert c.total == 1
+
+    def test_mixed_classes(self):
+        c = census_of([0b101011, 0b101111, gf2_mul(0b111, 0b111)])
+        assert c.total == 3
+        assert sum(c.counts.values()) == 3
+
+    def test_x_plus_1_law_detection(self):
+        good = census_of([0b101011])        # divisible
+        assert good.all_divisible_by_x_plus_1()
+        bad = census_of([0b1011])           # x^3+x+1, not divisible
+        assert not bad.all_divisible_by_x_plus_1()
+        assert bad.violators_of_x_plus_1() == [0b1011]
+
+    def test_sorted_rows_order(self):
+        c = ClassCensus()
+        for p in [0b101011, 0b1011, gf2_mul(0b11, gf2_mul(0b11, 0b111))]:
+            c.add(p)
+        rows = c.sorted_rows()
+        # fewer factors first, then lexicographic signature
+        assert [len(sig) for sig, _ in rows] == sorted(len(sig) for sig, _ in rows)
+
+
+class TestFewestTaps:
+    def test_paper_sparse_selection(self):
+        polys = [
+            koopman_to_full(0x90022004),
+            koopman_to_full(0x992C1A4C),
+        ]
+        assert fewest_taps(polys) == [koopman_to_full(0x90022004)]
+
+    def test_tie_break_deterministic(self):
+        a, b = 0b10011, 0b11001  # both 3 terms
+        assert fewest_taps([b, a], 2) == [a, b]
+
+
+class TestCensusOfRealSearch:
+    def test_crc8_census(self):
+        cfg = SearchConfig(
+            width=8, target_hd=4, filter_lengths=(16, 100), confirm_weights=False
+        )
+        res = search_all(cfg)
+        census = census_of(res.survivors)
+        assert census.total == len(res.survivors)
+        # every surviving class contains the degree-1 factor (the
+        # scaled (x+1) law)
+        for sig in census.counts:
+            assert 1 in sig
+        lines = koopman_summary(census)
+        assert len(lines) == len(census.counts)
+        assert all("polynomials" in line for line in lines)

@@ -1,0 +1,93 @@
+"""Tests for constructive factorization-class generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gf2.factorize import factor_degrees
+from repro.gf2.poly import degree, divisible_by_x_plus_1
+from repro.search.classes import (
+    class_members,
+    class_size,
+    degree_of_class,
+    paper_class_shapes,
+    random_irreducible,
+    sample_class_members,
+)
+
+
+class TestClassSize:
+    def test_paper_1_3_28(self):
+        # (x+1) fixed, 2 degree-3 choices, 9,586,395 degree-28 choices
+        assert class_size((1, 3, 28)) == 2 * 9_586_395
+
+    def test_repeated_degrees_multiset(self):
+        # {1,1}: only (x+1)^2 -- one polynomial
+        assert class_size((1, 1)) == 1
+        # {2,2}: only (x^2+x+1)^2
+        assert class_size((2, 2)) == 1
+        # {3,3}: two irreducibles with repetition: C(3,2) = 3
+        assert class_size((3, 3)) == 3
+
+    def test_1_1_15_15(self):
+        from math import comb
+
+        n15 = 2182  # count_irreducibles(15)
+        assert class_size((1, 1, 15, 15)) == comb(n15 + 1, 2)
+
+
+class TestEnumeration:
+    def test_members_have_right_class(self):
+        for p in class_members((1, 4)):
+            assert factor_degrees(p) == [1, 4]
+            assert degree(p) == 5
+            assert divisible_by_x_plus_1(p)
+
+    def test_member_count_matches_size(self):
+        listed = list(class_members((1, 4)))
+        assert len(listed) == class_size((1, 4)) == 3
+        assert len(set(listed)) == 3
+
+    def test_repeated_factor_enumeration(self):
+        listed = list(class_members((3, 3)))
+        assert len(listed) == 3
+        for p in listed:
+            assert factor_degrees(p) == [3, 3]
+
+    def test_limit(self):
+        assert len(list(class_members((1, 6), limit=4))) == 4
+
+    def test_large_degree_rejected(self):
+        with pytest.raises(ValueError):
+            list(class_members((1, 28)))
+
+
+class TestSampling:
+    def test_sampled_members_classified(self):
+        import random
+
+        polys = sample_class_members((1, 3, 28), 4, seed=7)
+        assert len(set(polys)) == 4
+        for p in polys:
+            assert factor_degrees(p) == [1, 3, 28]
+            assert degree(p) == 32
+
+    def test_deterministic(self):
+        assert sample_class_members((1, 5), 3, seed=1) == sample_class_members(
+            (1, 5), 3, seed=1
+        )
+
+    def test_random_irreducible_degree_1(self):
+        import random
+
+        assert random_irreducible(1, random.Random(0)) == 0b11
+
+
+class TestShapes:
+    def test_paper_shapes_sum_to_32(self):
+        for sig in paper_class_shapes(32):
+            assert degree_of_class(sig) == 32
+
+    def test_scaled_shapes(self):
+        for sig in paper_class_shapes(12):
+            assert degree_of_class(sig) == 12

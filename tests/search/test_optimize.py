@@ -1,0 +1,58 @@
+"""Tests for length-customized polynomial optimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hd.hamming import hamming_distance
+from repro.search.optimize import best_for_length, rank_achievers
+
+
+class TestBestForLength:
+    def test_crc8_at_50_bits(self):
+        res = best_for_length(8, 50)
+        assert res.best_hd == 4
+        # every achiever truly achieves it; nothing achieves better
+        for p in res.achievers:
+            assert hamming_distance(p, 50) >= 4
+        assert res.winner in res.achievers
+
+    def test_crc8_at_200_bits_drops(self):
+        # beyond every 8-bit polynomial's HD=4 range
+        res = best_for_length(8, 200)
+        assert res.best_hd < 4
+
+    def test_optimum_is_tight(self):
+        # no 8-bit polynomial does better than the reported best
+        res = best_for_length(8, 50, hd_ceiling=6)
+        from repro.search.space import canonical_candidates
+
+        for p in canonical_candidates(8):
+            assert hamming_distance(p, 50, k_max=8) <= res.best_hd
+
+    def test_width_guard(self):
+        with pytest.raises(ValueError):
+            best_for_length(32, 100)
+
+    def test_small_width_very_short_message(self):
+        res = best_for_length(4, 4)
+        assert res.best_hd >= 2
+        for p in res.achievers:
+            assert hamming_distance(p, 4, k_max=10) >= res.best_hd
+
+
+class TestRanking:
+    def test_rank_by_critical_weight_then_taps(self):
+        res = best_for_length(8, 80)
+        assert res.best_hd == 4
+        ranked = res.ranked
+        from repro.hd.weights import weight_profile
+
+        w_first = weight_profile(ranked[0], 80, 4)[4]
+        w_last = weight_profile(ranked[-1], 80, 4)[4]
+        assert w_first <= w_last
+
+    def test_rank_deterministic(self):
+        a = rank_achievers([0x107, 0x11D, 0x12F], 40, 4)
+        b = rank_achievers([0x12F, 0x107, 0x11D], 40, 4)
+        assert a == b

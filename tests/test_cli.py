@@ -1,0 +1,105 @@
+"""CLI tests (argument parsing and end-to-end command behaviour)."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_poly
+
+
+class TestParsePoly:
+    def test_paper_notation(self):
+        assert parse_poly("0x82608EDB") == 0x104C11DB7
+
+    def test_full_encoding(self):
+        assert parse_poly("0x104C11DB7") == 0x104C11DB7
+
+    def test_small_full_encoding(self):
+        assert parse_poly("0x107") == 0x107
+
+    def test_rejects_even(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_poly("0x106")
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_poly("0")
+
+
+class TestCommands:
+    def test_report(self, capsys):
+        assert main(["report", "0xBA0DC66B"]) == 0
+        out = capsys.readouterr().out
+        assert "{1,3,28}" in out
+        assert "0xba0dc66b" in out
+
+    def test_report_with_breakpoints(self, capsys):
+        assert main(["report", "0x107", "--hd-max", "4", "--n-max", "150"]) == 0
+        main(["report", "0x107", "--breakpoints", "--hd-max", "4",
+              "--n-max", "150"])
+        out = capsys.readouterr().out
+        assert "HD bands" in out
+
+    def test_hd(self, capsys):
+        assert main(["hd", "0x107", "100"]) == 0
+        assert "HD = 4" in capsys.readouterr().out
+
+    def test_weights(self, capsys):
+        assert main(["weights", "0x107", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "W2 = 0" in out and "W4 = " in out
+
+    def test_breakpoints(self, capsys):
+        assert main(["breakpoints", "0x107", "--hd-max", "4",
+                     "--n-max", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "HD 4: 1 .. 119" in out
+
+    def test_search(self, capsys):
+        assert main(["search", "--width", "6", "--target-hd", "3",
+                     "--bits", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates screened" in out
+
+    def test_search_width_guard(self, capsys):
+        assert main(["search", "--width", "20"]) == 2
+
+    def test_campaign(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "c.json")
+        assert main(["campaign", "--width", "6", "--target-hd", "3",
+                     "--bits", "20", "--workers", "2",
+                     "--chunk-size", "8", "--checkpoint", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "chunks done" in out
+        assert (tmp_path / "c.json").exists()
+
+    def test_crc(self, capsys):
+        assert main(["crc", "CRC-32/IEEE-802.3",
+                     "--hex", "313233343536373839"]) == 0
+        assert "0xcbf43926" in capsys.readouterr().out
+
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        assert "CRC-32C/Castagnoli" in capsys.readouterr().out
+
+    def test_stacked(self, capsys):
+        assert main(["stacked", "0x107", "0x11D", "40", "--k-max", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "joint HD" in out and "degree 16" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "0x107", "0x11D",
+                     "--n-max", "60", "--hd-max", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "better" in out
+
+    def test_best(self, capsys):
+        assert main(["best", "--width", "6", "--bits", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "best achievable HD" in out and "recommended" in out
+
+    def test_parser_help_builds(self):
+        parser = build_parser()
+        assert parser.prog == "repro"
