@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-all bench bench-full repro examples clean
+.PHONY: install test test-all verify bench bench-full repro examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,21 @@ test:
 
 test-all:
 	RUN_SLOW=1 $(PY) -m pytest tests/
+
+# What CI runs: the tier-1 suite plus a ~30s smoke parallel campaign
+# (width 8, 2 subprocesses, checkpoint + resume) so the real
+# subprocess path is exercised on every PR.
+verify:
+	PYTHONPATH=src $(PY) -m pytest -x -q tests/
+	rm -f /tmp/repro-smoke-campaign.json
+	PYTHONPATH=src $(PY) -m repro campaign --width 8 --target-hd 4 \
+	    --bits 100 --parallel 2 --chunk-size 8 \
+	    --checkpoint /tmp/repro-smoke-campaign.json
+	PYTHONPATH=src $(PY) -m repro campaign --width 8 --target-hd 4 \
+	    --bits 100 --parallel 2 --chunk-size 8 \
+	    --checkpoint /tmp/repro-smoke-campaign.json --resume \
+	    | grep -q "0 chunks computed"
+	rm -f /tmp/repro-smoke-campaign.json
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -19,7 +19,9 @@ top term included (e.g. ``0x104C11DB7``, any width).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import warnings
 
 from repro.analysis.polyinfo import report_for
 from repro.analysis.tables import render_table2
@@ -33,17 +35,50 @@ from repro.search.census import census_of, fewest_taps
 from repro.search.exhaustive import SearchConfig, search_all
 
 
-def parse_poly(text: str) -> int:
-    """Parse a polynomial argument.
+def parse_poly(text: str, notation: str = "auto") -> int:
+    """Parse a polynomial argument into the full integer encoding.
 
-    32-bit values with the top bit set are treated as the paper's
-    implicit-+1 notation; anything else must be a full encoding
-    (degree term and +1 term present).
+    ``notation`` selects the reading:
+
+    * ``"paper"`` -- the value is the paper's implicit-+1 notation
+      (``0x82608EDB`` -> ``0x104C11DB7``), whatever its width.
+    * ``"full"`` -- the value is a full encoding with the degree term
+      and the (mandatory) +1 term present.
+    * ``"auto"`` (historical heuristic) -- 32-bit values with the top
+      bit set are treated as paper notation; anything else must be a
+      full encoding.  An *odd* 32-bit value is ambiguous: it is also a
+      valid degree-31 full encoding, so the heuristic warns and
+      ``--notation full`` must be passed to get the degree-31 reading.
     """
-    value = int(text, 0)
+    try:
+        value = int(text, 0)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text}: not an integer") from None
     if value <= 0:
         raise argparse.ArgumentTypeError("polynomial must be positive")
+    if notation == "paper":
+        return (value << 1) | 1
+    if notation == "full":
+        if value & 1 == 0:
+            raise argparse.ArgumentTypeError(
+                f"{text}: full encodings need the +1 term"
+            )
+        if value.bit_length() < 2:
+            raise argparse.ArgumentTypeError(
+                f"{text}: full encodings need a degree term"
+            )
+        return value
+    if notation != "auto":
+        raise argparse.ArgumentTypeError(f"unknown notation {notation!r}")
     if value.bit_length() == 32 and value >> 31:
+        if value & 1:
+            warnings.warn(
+                f"{text} is ambiguous: reading it as paper implicit-+1 "
+                f"notation (degree 32, full encoding {(value << 1) | 1:#x}); "
+                "pass --notation full to read it as a degree-31 full "
+                "encoding, or --notation paper to silence this warning",
+                stacklevel=2,
+            )
         return (value << 1) | 1  # paper notation
     if value & 1 == 0:
         raise argparse.ArgumentTypeError(
@@ -51,6 +86,11 @@ def parse_poly(text: str) -> int:
             "(or pass a 32-bit implicit-+1 value)"
         )
     return value
+
+
+#: argparse dests that hold raw polynomial strings until the
+#: ``--notation`` choice is known (resolved in :func:`main`).
+_POLY_DESTS = ("poly", "poly_a", "poly_b", "link", "app")
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -94,11 +134,7 @@ def cmd_search(args: argparse.Namespace) -> int:
     if args.width > 14:
         print("widths beyond 14 need the farm; see repro.dist", file=sys.stderr)
         return 2
-    cascade = tuple(sorted({max(8, args.bits // 8), max(12, args.bits // 2), args.bits}))
-    cfg = SearchConfig(
-        width=args.width, target_hd=args.target_hd,
-        filter_lengths=cascade, confirm_weights=False,
-    )
+    cfg = SearchConfig.for_bits(args.width, args.target_hd, args.bits)
     res = search_all(cfg)
     print(
         f"{res.examined} candidates screened in {res.elapsed_seconds:.1f}s "
@@ -116,15 +152,58 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.dist.checkpoint import CheckpointMismatch
+
+    cfg = SearchConfig.for_bits(args.width, args.target_hd, args.bits)
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.parallel < 0:
+        print("--parallel must be a positive process count", file=sys.stderr)
+        return 2
+    try:
+        if args.parallel:
+            return _run_parallel_campaign(args, cfg)
+        return _run_simulated_campaign(args, cfg)
+    except CheckpointMismatch as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _run_parallel_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
+    from repro.dist.pool import ParallelCoordinator
+
+    runner = ParallelCoordinator(
+        config=cfg,
+        chunk_size=args.chunk_size,
+        processes=args.parallel,
+        checkpoint_path=args.checkpoint,
+        progress_interval=args.progress_interval,
+        log=print,
+    )
+    if args.resume and os.path.exists(args.checkpoint):
+        skipped = runner.resume()
+        print(f"resumed from {args.checkpoint}: {skipped} chunks skipped")
+    elapsed = runner.run()
+    print(runner.queue.progress())
+    print(
+        f"{len(runner.campaign.survivors)} survivors; "
+        f"{runner.stats.completions} chunks computed in {elapsed:.1f}s wall "
+        f"across {args.parallel} processes"
+    )
+    if args.checkpoint:
+        print(f"campaign record written to {args.checkpoint}")
+    return 0
+
+
+def _run_simulated_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
     from repro.dist.coordinator import Coordinator
     from repro.dist.worker import ChunkWorker
 
-    cascade = tuple(sorted({max(8, args.bits // 8), max(12, args.bits // 2), args.bits}))
-    cfg = SearchConfig(
-        width=args.width, target_hd=args.target_hd,
-        filter_lengths=cascade, confirm_weights=False,
-    )
     coord = Coordinator(config=cfg, chunk_size=args.chunk_size)
+    if args.resume and os.path.exists(args.checkpoint):
+        skipped = coord.load_checkpoint(args.checkpoint)
+        print(f"resumed from {args.checkpoint}: {skipped} chunks skipped")
     workers = [ChunkWorker(f"w{i}", cfg) for i in range(args.workers)]
     coord.run(workers)
     print(coord.queue.progress())
@@ -188,27 +267,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("report", help="everything about one polynomial")
-    p.add_argument("poly", type=parse_poly)
+    # Poly-taking commands share the notation selector; the raw string
+    # is kept until main() knows the choice (the flag may follow the
+    # positional on the command line).
+    notation = argparse.ArgumentParser(add_help=False)
+    notation.add_argument(
+        "--notation", choices=("auto", "paper", "full"), default="auto",
+        help="how to read polynomial arguments: the paper's implicit-+1 "
+             "notation, the full encoding with the degree and +1 terms, "
+             "or the historical auto heuristic (32-bit => paper), which "
+             "warns on odd 32-bit values where the two readings diverge",
+    )
+
+    p = sub.add_parser("report", parents=[notation],
+                       help="everything about one polynomial")
+    p.add_argument("poly")
     p.add_argument("--breakpoints", action="store_true",
                    help="also compute HD bands (slower)")
     p.add_argument("--hd-max", type=int, default=8)
     p.add_argument("--n-max", type=int, default=3000)
     p.set_defaults(fn=cmd_report)
 
-    p = sub.add_parser("hd", help="Hamming distance at a length")
-    p.add_argument("poly", type=parse_poly)
+    p = sub.add_parser("hd", parents=[notation],
+                       help="Hamming distance at a length")
+    p.add_argument("poly")
     p.add_argument("bits", type=int)
     p.add_argument("--k-max", type=int, default=16)
     p.set_defaults(fn=cmd_hd)
 
-    p = sub.add_parser("weights", help="exact W2..W4 at a length")
-    p.add_argument("poly", type=parse_poly)
+    p = sub.add_parser("weights", parents=[notation],
+                       help="exact W2..W4 at a length")
+    p.add_argument("poly")
     p.add_argument("bits", type=int)
     p.set_defaults(fn=cmd_weights)
 
-    p = sub.add_parser("breakpoints", help="HD bands (Table 1 column)")
-    p.add_argument("poly", type=parse_poly)
+    p = sub.add_parser("breakpoints", parents=[notation],
+                       help="HD bands (Table 1 column)")
+    p.add_argument("poly")
     p.add_argument("--hd-max", type=int, default=8)
     p.add_argument("--n-max", type=int, default=3000)
     p.set_defaults(fn=cmd_breakpoints)
@@ -223,9 +318,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=10)
     p.add_argument("--target-hd", type=int, default=4)
     p.add_argument("--bits", type=int, default=200)
-    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--workers", type=int, default=4,
+                   help="simulated in-process workers (logical clock); "
+                        "ignored when --parallel is given")
+    p.add_argument("--parallel", type=int, default=0, metavar="N",
+                   help="run on N real subprocesses (wall clock) "
+                        "instead of the single-process simulation")
     p.add_argument("--chunk-size", type=int, default=64)
-    p.add_argument("--checkpoint", type=str, default=None)
+    p.add_argument("--checkpoint", type=str, default=None,
+                   help="write campaign progress here (periodically "
+                        "under --parallel, at the end otherwise)")
+    p.add_argument("--resume", action="store_true",
+                   help="load --checkpoint first and skip its "
+                        "completed chunks")
+    p.add_argument("--progress-interval", type=float, default=5.0,
+                   help="seconds between progress summary lines "
+                        "(--parallel only)")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("crc", help="compute a catalog CRC over hex bytes")
@@ -236,16 +344,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("catalog", help="list known CRC algorithms")
     p.set_defaults(fn=cmd_catalog)
 
-    p = sub.add_parser("stacked", help="joint HD of a link+app CRC stack")
-    p.add_argument("link", type=parse_poly)
-    p.add_argument("app", type=parse_poly)
+    p = sub.add_parser("stacked", parents=[notation],
+                       help="joint HD of a link+app CRC stack")
+    p.add_argument("link")
+    p.add_argument("app")
     p.add_argument("bits", type=int)
     p.add_argument("--k-max", type=int, default=8)
     p.set_defaults(fn=cmd_stacked)
 
-    p = sub.add_parser("compare", help="pairwise dominance analysis")
-    p.add_argument("poly_a", type=parse_poly)
-    p.add_argument("poly_b", type=parse_poly)
+    p = sub.add_parser("compare", parents=[notation],
+                       help="pairwise dominance analysis")
+    p.add_argument("poly_a")
+    p.add_argument("poly_b")
     p.add_argument("--n-min", type=int, default=8)
     p.add_argument("--n-max", type=int, default=1200)
     p.add_argument("--hd-max", type=int, default=8)
@@ -260,7 +370,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    notation = getattr(args, "notation", "auto")
+    for dest in _POLY_DESTS:
+        raw = getattr(args, dest, None)
+        if isinstance(raw, str):
+            try:
+                setattr(args, dest, parse_poly(raw, notation))
+            except argparse.ArgumentTypeError as exc:
+                parser.error(str(exc))
     return args.fn(args)
 
 

@@ -22,14 +22,20 @@ This package reproduces that system:
   of the 2001 fleet, reproducing the campaign-scale arithmetic (why
   2**30 polynomials at ~2/s/CPU takes a summer, and why Castagnoli's
   special-purpose hardware would have needed 3600+ years).
+* :mod:`repro.dist.pool` -- the wall-clock backend: the same queue and
+  record driven by real subprocesses (``ProcessPoolExecutor``), with
+  lease renewal against actual time, crash recovery through lease
+  expiry, and periodic checkpoints via :mod:`repro.dist.checkpoint`.
 """
 
 from repro.dist.tasks import SearchTask, TaskStatus
 from repro.dist.queue import TaskQueue
 from repro.dist.worker import ChunkWorker
 from repro.dist.coordinator import Coordinator
+from repro.dist.checkpoint import CheckpointMismatch
 from repro.dist.faults import FaultPlan
 from repro.dist.farm import FarmSpec, MachineSpec, simulate_campaign, CampaignEstimate
+from repro.dist.pool import ParallelCoordinator, PoolStats
 
 __all__ = [
     "SearchTask",
@@ -37,9 +43,12 @@ __all__ = [
     "TaskQueue",
     "ChunkWorker",
     "Coordinator",
+    "CheckpointMismatch",
     "FaultPlan",
     "FarmSpec",
     "MachineSpec",
     "simulate_campaign",
     "CampaignEstimate",
+    "ParallelCoordinator",
+    "PoolStats",
 ]

@@ -1,0 +1,82 @@
+"""Campaign checkpoint format with compatibility guarding.
+
+A checkpoint written months into a campaign is only useful if it can
+never be silently merged into the *wrong* campaign: the seed format
+stored the bare :class:`~repro.search.records.CampaignRecord`, so
+loading a width-8/chunk-8 checkpoint into a width-9/chunk-64
+coordinator "succeeded" with zero chunks skipped.  Format 2 wraps the
+record in an envelope that pins the search identity -- ``width``,
+``target_hd``, ``final_length`` and the partition ``chunk_size`` --
+and :func:`load` raises :class:`CheckpointMismatch` on any deviation.
+
+Legacy (format-1) files are still readable: the record itself carries
+``width``/``target_hd``/``data_word_bits``, which are validated; the
+chunk size is not recorded there, so a mismatched partition is caught
+later by the out-of-range chunk-id guard in the loaders.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.search.exhaustive import SearchConfig
+from repro.search.records import CampaignRecord
+
+FORMAT = "repro-campaign-checkpoint/2"
+
+
+class CheckpointMismatch(ValueError):
+    """The checkpoint belongs to a different campaign than the one
+    trying to load it."""
+
+
+def save(
+    path: str, campaign: CampaignRecord, config: SearchConfig, chunk_size: int
+) -> None:
+    """Atomically persist the campaign record plus its identity."""
+    payload = {
+        "format": FORMAT,
+        "config": {
+            "width": config.width,
+            "target_hd": config.target_hd,
+            "final_length": config.final_length,
+            "chunk_size": chunk_size,
+        },
+        "campaign": campaign.to_json_dict(),
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(payload, f, indent=1)
+    os.replace(tmp, path)
+
+
+def _check(field: str, found: Any, expected: Any, path: str) -> None:
+    if found != expected:
+        raise CheckpointMismatch(
+            f"checkpoint {path} is from a different campaign: "
+            f"{field}={found!r} but this campaign has {field}={expected!r}"
+        )
+
+
+def load(path: str, config: SearchConfig, chunk_size: int) -> CampaignRecord:
+    """Read a checkpoint, refusing one from an incompatible campaign."""
+    with open(path) as f:
+        d = json.load(f)
+    if isinstance(d, dict) and "campaign" in d:
+        meta = d.get("config", {})
+        _check("width", meta.get("width"), config.width, path)
+        _check("target_hd", meta.get("target_hd"), config.target_hd, path)
+        _check(
+            "final_length", meta.get("final_length"), config.final_length, path
+        )
+        _check("chunk_size", meta.get("chunk_size"), chunk_size, path)
+        campaign = CampaignRecord.from_json_dict(d["campaign"])
+    else:
+        # Format 1: a bare CampaignRecord; validate what it carries.
+        campaign = CampaignRecord.from_json_dict(d)
+    _check("width", campaign.width, config.width, path)
+    _check("target_hd", campaign.target_hd, config.target_hd, path)
+    _check("final_length", campaign.data_word_bits, config.final_length, path)
+    return campaign

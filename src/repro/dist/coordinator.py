@@ -11,9 +11,10 @@ coordinator restarts.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
+from repro.dist import checkpoint as checkpoint_io
+from repro.dist.checkpoint import CheckpointMismatch
 from repro.dist.faults import WorkerCrashed
 from repro.dist.queue import TaskQueue
 from repro.dist.tasks import SearchTask, partition_space
@@ -81,8 +82,7 @@ class Coordinator:
                 if task.attempts > 1:
                     self.reassignments += 1
                 now += time_per_chunk / max(len(live), 1)
-                completed_number = worker.chunks_completed - 1
-                for _ in range(worker.deliveries_for(completed_number)):
+                for _ in range(worker.deliveries_for(worker.last_chunk_number)):
                     self.queue.complete(task.chunk_id, worker.worker_id, now)
                     self.deliver(task, result, worker.worker_id)
                 made_progress = True
@@ -100,19 +100,27 @@ class Coordinator:
     # -- checkpointing -------------------------------------------------
 
     def save_checkpoint(self, path: str) -> None:
-        """Atomically persist the campaign record."""
-        tmp = path + ".tmp"
-        with open(tmp, "w") as f:
-            f.write(self.campaign.to_json())
-        os.replace(tmp, path)
+        """Atomically persist the campaign record plus the campaign
+        identity (width/target_hd/final_length/chunk_size)."""
+        checkpoint_io.save(path, self.campaign, self.config, self.chunk_size)
 
     def load_checkpoint(self, path: str) -> int:
         """Restore a campaign record; marks its completed chunks done
-        in the queue.  Returns the number of chunks skipped."""
-        with open(path) as f:
-            self.campaign = CampaignRecord.from_json(f.read())
+        in the queue.  Returns the number of chunks skipped.  Raises
+        :class:`CheckpointMismatch` if the checkpoint was written by a
+        campaign with a different width, target HD, final length or
+        chunk size."""
+        campaign = checkpoint_io.load(path, self.config, self.chunk_size)
+        foreign = [c for c in campaign.chunks_done if c not in self.queue]
+        if foreign:
+            raise CheckpointMismatch(
+                f"checkpoint {path} references chunks {sorted(foreign)}, "
+                f"outside this campaign's {len(self.queue)}-chunk partition "
+                "(chunk_size mismatch?)"
+            )
         skipped = 0
-        for chunk_id in self.campaign.chunks_done:
+        for chunk_id in campaign.chunks_done:
             if self.queue.complete(chunk_id, "checkpoint", 0.0):
                 skipped += 1
+        self.campaign = campaign
         return skipped

@@ -15,6 +15,19 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+#: FaultPlan conventions for the process-pool backend
+#: (:mod:`repro.dist.pool`).  Pool processes are interchangeable, so
+#: faults are keyed by *chunk id* instead of a per-worker chunk count:
+#: ``crash_points[POOL_CRASH] = chunk_id`` raises
+#: :class:`WorkerCrashed` inside the subprocess executing that chunk
+#: (first attempt only), ``crash_points[POOL_KILL] = chunk_id`` hard-
+#: kills the subprocess with ``os._exit`` (first attempt only), and
+#: ``duplicate_completions[POOL_CRASH] = chunk_id`` delivers that
+#: chunk's completion twice.  ``straggle[POOL_CRASH] = f`` makes every
+#: chunk sleep ``f - 1`` seconds before computing (lease pressure).
+POOL_CRASH = "pool"
+POOL_KILL = "pool-kill"
+
 
 @dataclass
 class FaultPlan:

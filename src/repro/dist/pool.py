@@ -1,0 +1,319 @@
+"""Wall-clock process-parallel campaign backend.
+
+The simulated :class:`~repro.dist.coordinator.Coordinator` round-robins
+workers inside one process under a logical clock -- correct for the
+fault-tolerance semantics, but ``--workers 4`` there buys zero extra
+throughput.  This module is the real thing: subprocess workers from a
+:class:`concurrent.futures.ProcessPoolExecutor` execute
+:func:`~repro.search.exhaustive.search_chunk` over pickled
+:class:`~repro.search.exhaustive.SearchConfig` index ranges while the
+parent process leases, renews and reaps against actual elapsed time.
+
+The distributed semantics are *exactly* the ones the simulated stack
+already enforces, driven through the same objects:
+
+* chunks come from the same :func:`~repro.dist.tasks.partition_space`
+  tiling and flow through the same :class:`~repro.dist.queue.TaskQueue`
+  lease/complete protocol -- at-least-once execution with idempotent
+  completion;
+* a crashed (``WorkerCrashed``) or hard-killed (``os._exit``)
+  subprocess simply never completes its chunk: the parent stops
+  renewing the lease, the lease expires on the real clock, and the
+  chunk is transparently re-leased to a healthy process.  A hard kill
+  additionally breaks the executor (CPython invalidates the whole
+  pool), which the runner rebuilds and carries on;
+* results merge into the same idempotent
+  :class:`~repro.search.records.CampaignRecord`, checkpointed every N
+  completions through :mod:`repro.dist.checkpoint` so a killed
+  campaign restarts with ``resume`` instead of recomputing;
+* fault injection reuses :class:`~repro.dist.faults.FaultPlan` under
+  the pool conventions (``POOL_CRASH`` / ``POOL_KILL`` keyed by chunk
+  id), so the test suite scripts subprocess failure deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dist import checkpoint as checkpoint_io
+from repro.dist.checkpoint import CheckpointMismatch
+from repro.dist.faults import POOL_CRASH, POOL_KILL, FaultPlan, WorkerCrashed
+from repro.dist.progress import ProgressTracker
+from repro.dist.queue import TaskQueue
+from repro.dist.tasks import SearchTask, partition_space
+from repro.search.exhaustive import SearchConfig, SearchResult, search_chunk
+from repro.search.records import CampaignRecord
+
+#: Lease owner recorded for every parent-issued lease.
+PARENT_OWNER = "pool-parent"
+
+
+def _run_chunk(
+    config: SearchConfig,
+    start_index: int,
+    end_index: int,
+    chunk_id: int,
+    attempt: int,
+    faults: FaultPlan | None,
+) -> tuple[int, SearchResult]:
+    """Subprocess entry point: execute one chunk of the search.
+
+    Must stay a module-level function (it is pickled by name), and its
+    return value must stay picklable -- ``SearchResult`` holds only
+    plain dataclasses, which ``tests/dist/test_pool.py`` pins down.
+
+    Injected faults fire on the *first* attempt only: the reassigned
+    retry models a healthy machine picking up the forfeited chunk.
+    """
+    if faults is not None and attempt == 1:
+        if faults.crashes_on(POOL_KILL, chunk_id):
+            os._exit(1)  # hard kill: no exception, no cleanup, no nack
+        if faults.crashes_on(POOL_CRASH, chunk_id):
+            raise WorkerCrashed(f"injected crash on chunk {chunk_id}")
+    if faults is not None:
+        slowdown = faults.slowdown(POOL_CRASH)
+        if slowdown > 1.0:
+            time.sleep(min(slowdown - 1.0, 5.0))
+    return chunk_id, search_chunk(config, start_index, end_index)
+
+
+@dataclass
+class PoolStats:
+    """Counters the tests and the CLI summary line report."""
+
+    completions: int = 0
+    duplicate_deliveries: int = 0
+    reassignments: int = 0
+    crashes: int = 0
+    pool_rebuilds: int = 0
+    checkpoints_written: int = 0
+    skipped_from_checkpoint: int = 0
+
+
+@dataclass
+class ParallelCoordinator:
+    """Drive a campaign over real subprocesses on the wall clock.
+
+    The parent is the only lease holder (``PARENT_OWNER``): it leases a
+    chunk when it submits the future, renews the lease while the future
+    is running, and completes it on delivery.  A future that dies takes
+    its renewals with it, so the lease expires and the queue hands the
+    chunk to the next submission -- the same recovery path the 2001
+    campaign relied on, at subprocess granularity.
+    """
+
+    config: SearchConfig
+    chunk_size: int
+    processes: int
+    lease_duration: float = 60.0
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 8
+    faults: FaultPlan | None = None
+    progress_interval: float = 10.0
+    log: Callable[[str], None] | None = None
+    max_seconds: float | None = None
+    queue: TaskQueue = field(init=False)
+    campaign: CampaignRecord = field(init=False)
+    tracker: ProgressTracker = field(init=False)
+    stats: PoolStats = field(init=False, default_factory=PoolStats)
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise ValueError("processes must be positive")
+        tasks = partition_space(self.config.width, self.chunk_size)
+        self.queue = TaskQueue(tasks, lease_duration=self.lease_duration)
+        self.campaign = CampaignRecord(
+            width=self.config.width,
+            data_word_bits=self.config.final_length,
+            target_hd=self.config.target_hd,
+        )
+        self.tracker = ProgressTracker(total_chunks=len(self.queue))
+        self._completions_since_checkpoint = 0
+        self._t0: float | None = None
+
+    # -- checkpoint / resume -------------------------------------------
+
+    def save_checkpoint(self, path: str | None = None) -> None:
+        """Persist progress (defaults to the configured path)."""
+        target = path or self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        checkpoint_io.save(target, self.campaign, self.config, self.chunk_size)
+        self.stats.checkpoints_written += 1
+
+    def resume(self, path: str | None = None) -> int:
+        """Load a checkpoint written by a compatible campaign and mark
+        its chunks done.  Returns the number of chunks skipped; raises
+        :class:`CheckpointMismatch` on a foreign checkpoint."""
+        target = path or self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        campaign = checkpoint_io.load(target, self.config, self.chunk_size)
+        foreign = [c for c in campaign.chunks_done if c not in self.queue]
+        if foreign:
+            raise CheckpointMismatch(
+                f"checkpoint {target} references chunks {sorted(foreign)}, "
+                f"outside this campaign's {len(self.queue)}-chunk partition "
+                "(chunk_size mismatch?)"
+            )
+        skipped = 0
+        for chunk_id in campaign.chunks_done:
+            if self.queue.complete(chunk_id, "checkpoint", 0.0):
+                skipped += 1
+        self.campaign = campaign
+        self.stats.skipped_from_checkpoint = skipped
+        return skipped
+
+    # -- the wall-clock drive loop -------------------------------------
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        return ProcessPoolExecutor(max_workers=self.processes, mp_context=ctx)
+
+    def _say(self, message: str) -> None:
+        if self.log is not None:
+            self.log(message)
+
+    def _deliver(self, task: SearchTask, result: SearchResult, now: float) -> None:
+        if task.attempts > 1:
+            self.stats.reassignments += 1
+        deliveries = 1
+        if self.faults is not None and self.faults.duplicates_on(
+            POOL_CRASH, task.chunk_id
+        ):
+            deliveries = 2
+        for _ in range(deliveries):
+            self.queue.complete(task.chunk_id, PARENT_OWNER, now)
+            merged = self.campaign.merge_chunk(
+                task.chunk_id, result.records, result.examined
+            )
+            if not merged:
+                self.stats.duplicate_deliveries += 1
+        self.stats.completions += 1
+        self._completions_since_checkpoint += 1
+        if (
+            self.checkpoint_path is not None
+            and self._completions_since_checkpoint >= self.checkpoint_every
+        ):
+            self.save_checkpoint()
+            self._completions_since_checkpoint = 0
+
+    def run(self, stop_after: int | None = None) -> float:
+        """Run until the queue drains (or ``stop_after`` new
+        completions, for tests that checkpoint mid-flight).  Returns
+        elapsed wall-clock seconds."""
+        t0 = time.monotonic()
+        self._t0 = t0
+        # Fresh tracker per run: a resumed/second run starts its own
+        # wall clock, and observe() forbids time regressing.
+        self.tracker = ProgressTracker(total_chunks=len(self.queue))
+        self.tracker.observe(0.0, self.queue.done)
+        executor = self._new_executor()
+        in_flight: dict[Future, SearchTask] = {}
+        renew_interval = max(self.lease_duration / 3.0, 0.05)
+        wait_timeout = min(max(self.lease_duration / 4.0, 0.02), 0.5)
+        last_renew = t0
+        last_summary = t0
+        try:
+            while not self.queue.all_done:
+                now = time.monotonic()
+                if self.max_seconds is not None and now - t0 > self.max_seconds:
+                    raise RuntimeError(
+                        f"campaign exceeded {self.max_seconds}s: "
+                        + self.queue.progress()
+                    )
+                if stop_after is not None and self.stats.completions >= stop_after:
+                    break
+                # Keep the pool saturated: one in-flight chunk per slot.
+                while len(in_flight) < self.processes:
+                    task = self.queue.lease(PARENT_OWNER, now)
+                    if task is None:
+                        break
+                    try:
+                        fut = executor.submit(
+                            _run_chunk,
+                            self.config,
+                            task.start_index,
+                            task.end_index,
+                            task.chunk_id,
+                            task.attempts,
+                            self.faults,
+                        )
+                    except BrokenProcessPool:
+                        executor, in_flight = self._rebuild(executor, in_flight)
+                        break
+                    in_flight[fut] = task
+                if not in_flight:
+                    # All remaining work is leased to failed attempts;
+                    # sleep to the earliest expiry so it gets reclaimed.
+                    expiry = self.queue.next_lease_expiry()
+                    if expiry is not None:
+                        time.sleep(min(max(expiry - time.monotonic(), 0.0) + 0.01, 1.0))
+                    continue
+                done, _ = wait(
+                    set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                broken = False
+                for fut in done:
+                    task = in_flight.pop(fut)
+                    exc = fut.exception()
+                    if exc is None:
+                        _, result = fut.result()
+                        self._deliver(task, result, now)
+                        self.tracker.observe(now - t0, self.queue.done)
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = True
+                        self.stats.crashes += 1
+                    elif isinstance(exc, WorkerCrashed):
+                        # Task-level crash: the pool survives, the
+                        # lease is left to expire and be re-leased.
+                        self.stats.crashes += 1
+                    else:
+                        raise exc
+                if broken:
+                    executor, in_flight = self._rebuild(executor, in_flight)
+                if now - last_renew >= renew_interval:
+                    for fut, task in in_flight.items():
+                        if not fut.done():
+                            self.queue.renew(task.chunk_id, PARENT_OWNER, now)
+                    last_renew = now
+                if now - last_summary >= self.progress_interval:
+                    self._say(
+                        self.tracker.summary(now - t0)
+                        + " | "
+                        + self.queue.progress()
+                    )
+                    last_summary = now
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        elapsed = time.monotonic() - t0
+        if self.checkpoint_path is not None and self._completions_since_checkpoint:
+            self.save_checkpoint()
+            self._completions_since_checkpoint = 0
+        self._say(
+            self.tracker.summary(elapsed) + " | " + self.queue.progress()
+        )
+        return elapsed
+
+    def _rebuild(
+        self, executor: ProcessPoolExecutor, in_flight: dict[Future, SearchTask]
+    ) -> tuple[ProcessPoolExecutor, dict[Future, SearchTask]]:
+        """Replace a broken pool.  In-flight work is abandoned; its
+        leases expire on the real clock and the chunks are re-leased."""
+        executor.shutdown(wait=False, cancel_futures=True)
+        self.stats.pool_rebuilds += 1
+        self._say(
+            "process pool broken (worker killed); rebuilding -- "
+            + self.queue.progress()
+        )
+        return self._new_executor(), {}

@@ -35,8 +35,22 @@ class TaskQueue:
     def __len__(self) -> int:
         return len(self._tasks)
 
+    def __contains__(self, chunk_id: int) -> bool:
+        return chunk_id in self._tasks
+
     def task(self, chunk_id: int) -> SearchTask:
         return self._tasks[chunk_id]
+
+    def next_lease_expiry(self) -> float | None:
+        """Earliest expiry among live leases, or None if nothing is
+        leased.  The wall-clock runner sleeps until this instant when
+        all remaining work is held by (possibly dead) owners."""
+        expiries = [
+            t.lease_expires_at
+            for t in self._tasks.values()
+            if t.status is TaskStatus.LEASED
+        ]
+        return min(expiries) if expiries else None
 
     def _reclaim_expired(self, now: float) -> None:
         for t in self._tasks.values():

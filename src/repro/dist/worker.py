@@ -34,6 +34,7 @@ class ChunkWorker:
     faults: FaultPlan = field(default_factory=FaultPlan)
     chunks_started: int = 0
     chunks_completed: int = 0
+    last_chunk_number: int = -1
     alive: bool = True
 
     def run_one(self, queue: TaskQueue, now: float) -> tuple[SearchTask, SearchResult] | None:
@@ -51,6 +52,7 @@ class ChunkWorker:
             return None
         my_chunk_number = self.chunks_started
         self.chunks_started += 1
+        self.last_chunk_number = my_chunk_number
         if self.faults.crashes_on(self.worker_id, my_chunk_number):
             self.alive = False
             raise WorkerCrashed(
@@ -62,7 +64,17 @@ class ChunkWorker:
 
     def deliveries_for(self, chunk_number: int) -> int:
         """How many times the completion of the worker's n-th chunk is
-        delivered (2 when the fault plan injects a duplicate)."""
+        delivered (2 when the fault plan injects a duplicate).
+
+        ``chunk_number`` is the started-chunk ordinal recorded in
+        :attr:`last_chunk_number` -- the same counter the crash
+        injection uses, so fault plans address both by one key space.
+        For a worker that never crashed the two historical counters
+        coincide (``chunks_started == chunks_completed`` between
+        calls); after a crash they diverge by one, which is why both
+        call sites now read :attr:`last_chunk_number` instead of
+        re-deriving the ordinal from ``chunks_completed``.
+        """
         return 2 if self.faults.duplicates_on(self.worker_id, chunk_number) else 1
 
 
@@ -91,7 +103,6 @@ def drain(
             return now
         task, result = outcome
         now += time_per_chunk * worker.faults.slowdown(worker.worker_id)
-        completed_number = worker.chunks_completed - 1
-        for _ in range(worker.deliveries_for(completed_number)):
+        for _ in range(worker.deliveries_for(worker.last_chunk_number)):
             queue.complete(task.chunk_id, worker.worker_id, now)
             on_complete(task, result, worker.worker_id)

@@ -70,10 +70,35 @@ class SearchConfig:
         """The data-word length the target HD is required at."""
         return self.filter_lengths[-1]
 
+    @classmethod
+    def for_bits(
+        cls, width: int, target_hd: int, bits: int, **overrides
+    ) -> "SearchConfig":
+        """The standard screening config for a final length: a
+        three-stage cascade (bits/8, bits/2, bits, floored at useful
+        minimums) with weight confirmation off -- what the CLI's
+        ``search`` and ``campaign`` commands run."""
+        cascade = tuple(
+            sorted({max(8, bits // 8), max(12, bits // 2), bits})
+        )
+        overrides.setdefault("confirm_weights", False)
+        return cls(
+            width=width,
+            target_hd=target_hd,
+            filter_lengths=cascade,
+            **overrides,
+        )
+
 
 @dataclass
 class SearchResult:
-    """Outcome of (a chunk of) an exhaustive search."""
+    """Outcome of (a chunk of) an exhaustive search.
+
+    Chunk results cross process boundaries in the parallel campaign
+    (:mod:`repro.dist.pool`), so this type and everything it contains
+    must remain plain picklable dataclasses -- no open handles, no
+    lambdas, no generators (``tests/dist/test_pool.py`` enforces it).
+    """
 
     config: SearchConfig
     records: list[PolyRecord] = field(default_factory=list)

@@ -113,22 +113,21 @@ class CampaignRecord:
             key=lambda r: r.poly,
         )
 
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "width": self.width,
+            "data_word_bits": self.data_word_bits,
+            "target_hd": self.target_hd,
+            "chunks_done": sorted(self.chunks_done),
+            "candidates_examined": self.candidates_examined,
+            "results": [r.to_json_dict() for r in self.results.values()],
+        }
+
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "width": self.width,
-                "data_word_bits": self.data_word_bits,
-                "target_hd": self.target_hd,
-                "chunks_done": sorted(self.chunks_done),
-                "candidates_examined": self.candidates_examined,
-                "results": [r.to_json_dict() for r in self.results.values()],
-            },
-            indent=1,
-        )
+        return json.dumps(self.to_json_dict(), indent=1)
 
     @classmethod
-    def from_json(cls, text: str) -> "CampaignRecord":
-        d = json.loads(text)
+    def from_json_dict(cls, d: dict[str, Any]) -> "CampaignRecord":
         rec = cls(
             width=d["width"],
             data_word_bits=d["data_word_bits"],
@@ -140,6 +139,10 @@ class CampaignRecord:
             pr = PolyRecord.from_json_dict(rd)
             rec.results[pr.poly] = pr
         return rec
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignRecord":
+        return cls.from_json_dict(json.loads(text))
 
 
 def describe_poly(p: int) -> str:

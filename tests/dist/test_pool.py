@@ -1,0 +1,181 @@
+"""Wall-clock process-pool campaign tests.
+
+Governing invariant (same as the simulated coordinator's): whatever
+happens to the subprocesses -- crashes, hard kills, duplicate
+deliveries, mid-flight shutdown plus resume -- the finished campaign
+record is identical to a clean single-process run.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.dist.checkpoint import CheckpointMismatch
+from repro.dist.faults import POOL_CRASH, POOL_KILL, FaultPlan
+from repro.dist.pool import ParallelCoordinator, _run_chunk
+from repro.search.exhaustive import SearchConfig, search_all, search_chunk
+
+CFG = SearchConfig(width=8, target_hd=4, filter_lengths=(16, 40, 100),
+                   confirm_weights=False)
+MAX_SECONDS = 120.0  # far above normal; guards CI against a wedged pool
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    res = search_all(CFG)
+    return {r.poly: r.survived for r in res.records}, res.examined
+
+
+def make_runner(**kwargs):
+    kwargs.setdefault("config", CFG)
+    kwargs.setdefault("chunk_size", 8)
+    kwargs.setdefault("processes", 2)
+    kwargs.setdefault("lease_duration", 0.5)
+    kwargs.setdefault("max_seconds", MAX_SECONDS)
+    return ParallelCoordinator(**kwargs)
+
+
+def assert_matches_baseline(runner, baseline):
+    truth, examined = baseline
+    assert runner.queue.all_done
+    assert runner.campaign.candidates_examined == examined
+    assert {
+        r.poly: r.survived for r in runner.campaign.results.values()
+    } == truth
+
+
+class TestPicklability:
+    def test_chunk_payloads_round_trip(self):
+        """The pool pickles configs out and results back; both must
+        survive unchanged (witnesses, weights, stage kills and all)."""
+        assert pickle.loads(pickle.dumps(CFG)) == CFG
+        res = search_chunk(CFG, 0, 16)
+        back = pickle.loads(pickle.dumps(res))
+        assert back.records == res.records
+        assert back.examined == res.examined
+        assert back.stage_kills == res.stage_kills
+
+    def test_subprocess_entry_is_importable_by_name(self):
+        # ProcessPoolExecutor pickles the callable by qualified name.
+        assert _run_chunk.__module__ == "repro.dist.pool"
+        assert _run_chunk.__qualname__ == "_run_chunk"
+
+
+class TestCleanRun:
+    def test_matches_direct_search(self, baseline):
+        runner = make_runner()
+        runner.run()
+        assert_matches_baseline(runner, baseline)
+        assert runner.stats.duplicate_deliveries == 0
+        assert runner.stats.crashes == 0
+
+    def test_single_process_matches_four(self, baseline):
+        one = make_runner(processes=1)
+        one.run()
+        four = make_runner(processes=4)
+        four.run()
+        assert_matches_baseline(one, baseline)
+        assert_matches_baseline(four, baseline)
+        # Full record equality, not just survivor sets: same chunks,
+        # same counts, same per-poly outcomes.
+        assert one.campaign == four.campaign
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ValueError, match="processes"):
+            make_runner(processes=0)
+
+
+class TestFaultTolerance:
+    def test_soft_crash_reassigned_after_lease_expiry(self, baseline):
+        plan = FaultPlan(crash_points={POOL_CRASH: 3})
+        runner = make_runner(faults=plan)
+        runner.run()
+        assert_matches_baseline(runner, baseline)
+        assert runner.stats.crashes == 1
+        assert runner.stats.reassignments >= 1
+        assert runner.queue.task(3).attempts == 2
+
+    def test_hard_kill_rebuilds_pool(self, baseline):
+        plan = FaultPlan(crash_points={POOL_KILL: 2})
+        runner = make_runner(faults=plan)
+        runner.run()
+        assert_matches_baseline(runner, baseline)
+        assert runner.stats.pool_rebuilds >= 1
+        assert runner.stats.reassignments >= 1
+
+    def test_duplicate_delivery_deduped(self, baseline):
+        plan = FaultPlan(duplicate_completions={POOL_CRASH: 5})
+        runner = make_runner(faults=plan)
+        runner.run()
+        assert_matches_baseline(runner, baseline)
+        assert runner.stats.duplicate_deliveries == 1
+
+
+class TestKillAndResume:
+    def test_kill_checkpoint_resume_equals_clean_run(self, tmp_path, baseline):
+        """The acceptance scenario end to end: a campaign survives a
+        killed worker process, checkpoints mid-flight, is torn down,
+        and a fresh resumed runner finishes to the identical record
+        without recomputing checkpointed chunks."""
+        path = str(tmp_path / "campaign.json")
+        plan = FaultPlan(crash_points={POOL_KILL: 1})
+        first = make_runner(
+            faults=plan, checkpoint_path=path, checkpoint_every=1
+        )
+        first.run(stop_after=6)  # mid-flight shutdown, checkpoint written
+        assert first.stats.pool_rebuilds >= 1  # the kill really happened
+        assert 0 < first.stats.completions < len(first.queue)
+
+        resumed = make_runner(checkpoint_path=path)
+        skipped = resumed.resume()
+        assert skipped >= first.stats.completions - 1  # last ckpt may lag by <every
+        assert skipped > 0
+        resumed.run()
+        assert_matches_baseline(resumed, baseline)
+
+        clean = make_runner(processes=1)
+        clean.run()
+        assert resumed.campaign == clean.campaign
+
+    def test_resume_skips_without_recompute(self, tmp_path, baseline):
+        path = str(tmp_path / "campaign.json")
+        full = make_runner(checkpoint_path=path, checkpoint_every=1)
+        full.run()
+        assert_matches_baseline(full, baseline)
+
+        resumed = make_runner(checkpoint_path=path)
+        assert resumed.resume() == len(resumed.queue)
+        resumed.run()
+        assert resumed.stats.completions == 0  # nothing recomputed
+        assert_matches_baseline(resumed, baseline)
+
+    def test_resume_rejects_foreign_checkpoint(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        make_runner(checkpoint_path=path).save_checkpoint()
+        other_cfg = SearchConfig(width=9, target_hd=4,
+                                 filter_lengths=(16, 40, 100),
+                                 confirm_weights=False)
+        foreign = ParallelCoordinator(
+            config=other_cfg, chunk_size=8, processes=1, checkpoint_path=path
+        )
+        with pytest.raises(CheckpointMismatch, match="width"):
+            foreign.resume()
+
+    def test_resume_rejects_partition_mismatch(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        make_runner(chunk_size=8, checkpoint_path=path).save_checkpoint()
+        repartitioned = make_runner(chunk_size=64, checkpoint_path=path)
+        with pytest.raises(CheckpointMismatch, match="chunk_size"):
+            repartitioned.resume()
+
+
+class TestProgress:
+    def test_summary_lines_emitted(self, baseline):
+        lines: list[str] = []
+        runner = make_runner(log=lines.append, progress_interval=0.0)
+        runner.run()
+        assert lines, "no progress output"
+        assert "chunks" in lines[-1]
+        assert "complete" in lines[-1]

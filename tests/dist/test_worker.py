@@ -77,3 +77,38 @@ class TestDrain:
         worker = ChunkWorker("w0", CFG, faults=plan)
         end = drain(worker, queue, lambda t, r, w: None, time_per_chunk=1.0)
         assert end == pytest.approx(16.0)  # 4 chunks x 4x slowdown
+
+
+class TestCounterInvariant:
+    """Crash injection and duplicate injection are addressed by one
+    counter (the started-chunk ordinal, surfaced as
+    ``last_chunk_number``); ``chunks_started`` and ``chunks_completed``
+    may diverge only by the single chunk a crash swallowed."""
+
+    def test_clean_worker_counters_agree(self):
+        queue = make_queue()
+        worker = ChunkWorker("w0", CFG)
+        drain(worker, queue, lambda t, r, w: None)
+        assert worker.chunks_started == worker.chunks_completed == 4
+        assert worker.last_chunk_number == worker.chunks_started - 1
+
+    def test_crashed_worker_diverges_by_exactly_one(self):
+        queue = make_queue()
+        plan = FaultPlan(crash_points={"w0": 2})
+        worker = ChunkWorker("w0", CFG, faults=plan)
+        drain(worker, queue, lambda t, r, w: None)
+        assert not worker.alive
+        assert worker.chunks_started == worker.chunks_completed + 1
+        # the ordinal of the chunk the crash swallowed
+        assert worker.last_chunk_number == 2
+
+    def test_duplicate_keyed_by_started_ordinal(self):
+        # A duplicate scheduled for the same ordinal a crash consumes
+        # must never fire: the chunk was started but not completed.
+        queue = make_queue()
+        plan = FaultPlan(crash_points={"w0": 1},
+                         duplicate_completions={"w0": 1})
+        worker = ChunkWorker("w0", CFG, faults=plan)
+        deliveries = []
+        drain(worker, queue, lambda t, r, w: deliveries.append(t.chunk_id))
+        assert deliveries == [0]  # one clean chunk, no phantom duplicate

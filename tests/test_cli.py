@@ -27,6 +27,57 @@ class TestParsePoly:
         with pytest.raises(argparse.ArgumentTypeError):
             parse_poly("0")
 
+    def test_rejects_garbage(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_poly("not-a-poly")
+
+
+class TestParsePolyNotation:
+    """The confirmed seed bug: an odd 32-bit value like 0x8F6E37A1 is
+    both a paper implicit-+1 value (degree 32) and a degree-31 full
+    encoding; the auto heuristic silently took the paper reading,
+    making degree-31 polynomials unreachable from the CLI."""
+
+    AMBIGUOUS = "0x8F6E37A1"
+
+    def test_auto_keeps_paper_reading_but_warns(self):
+        with pytest.warns(UserWarning, match="ambiguous"):
+            assert parse_poly(self.AMBIGUOUS) == 0x11EDC6F43
+
+    def test_explicit_full_gives_degree_31(self):
+        assert parse_poly(self.AMBIGUOUS, "full") == 0x8F6E37A1
+
+    def test_explicit_paper_matches_auto_silently(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parse_poly(self.AMBIGUOUS, "paper") == 0x11EDC6F43
+
+    def test_even_32bit_is_unambiguous_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parse_poly("0x82608EDA") == 0x104C11DB5
+
+    def test_paper_applies_to_any_width(self):
+        assert parse_poly("0x83", "paper") == 0x107
+
+    def test_full_rejects_even(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_poly("0x106", "full")
+
+    def test_full_rejects_degreeless(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_poly("0x1", "full")
+
+    def test_cli_notation_flag_round_trip(self, capsys):
+        assert main(["report", self.AMBIGUOUS, "--notation", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "0x8f6e37a1" in out
+        assert "x^31" in out
+
 
 class TestCommands:
     def test_report(self, capsys):
@@ -74,6 +125,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "chunks done" in out
         assert (tmp_path / "c.json").exists()
+
+    def test_campaign_parallel(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "c.json")
+        assert main(["campaign", "--width", "6", "--target-hd", "3",
+                     "--bits", "20", "--parallel", "2",
+                     "--chunk-size", "8", "--checkpoint", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "chunks done" in out
+        assert "2 processes" in out
+        assert (tmp_path / "c.json").exists()
+        # resume recomputes nothing
+        assert main(["campaign", "--width", "6", "--target-hd", "3",
+                     "--bits", "20", "--parallel", "2",
+                     "--chunk-size", "8", "--checkpoint", ckpt,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "4 chunks skipped" in out
+        assert "0 chunks computed" in out
+
+    def test_campaign_parallel_matches_simulated(self, tmp_path, capsys):
+        from repro.dist.checkpoint import load as load_checkpoint
+        from repro.search.exhaustive import SearchConfig
+
+        sim = str(tmp_path / "sim.json")
+        par = str(tmp_path / "par.json")
+        base = ["campaign", "--width", "6", "--target-hd", "3",
+                "--bits", "20", "--chunk-size", "8"]
+        assert main(base + ["--workers", "2", "--checkpoint", sim]) == 0
+        assert main(base + ["--parallel", "2", "--checkpoint", par]) == 0
+        capsys.readouterr()
+        cfg = SearchConfig.for_bits(6, 3, 20)
+        assert (
+            load_checkpoint(sim, cfg, 8) == load_checkpoint(par, cfg, 8)
+        )
+
+    def test_campaign_resume_requires_checkpoint(self, capsys):
+        assert main(["campaign", "--width", "6", "--target-hd", "3",
+                     "--bits", "20", "--resume"]) == 2
 
     def test_crc(self, capsys):
         assert main(["crc", "CRC-32/IEEE-802.3",
