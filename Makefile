@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-all verify bench bench-full repro examples clean
+.PHONY: install test test-all verify docs-check bench bench-full repro examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,9 +13,10 @@ test:
 test-all:
 	RUN_SLOW=1 $(PY) -m pytest tests/
 
-# What CI runs: the tier-1 suite plus a ~30s smoke parallel campaign
+# What CI runs: the tier-1 suite, a ~30s smoke parallel campaign
 # (width 8, 2 subprocesses, checkpoint + resume) so the real
-# subprocess path is exercised on every PR.
+# subprocess path is exercised on every PR, and the docs-check that
+# executes every fenced python block in README.md and docs/*.md.
 verify:
 	PYTHONPATH=src $(PY) -m pytest -x -q tests/
 	rm -f /tmp/repro-smoke-campaign.json
@@ -27,6 +28,10 @@ verify:
 	    --checkpoint /tmp/repro-smoke-campaign.json --resume \
 	    | grep -q "0 chunks computed"
 	rm -f /tmp/repro-smoke-campaign.json
+	$(PY) tools/check_docs.py
+
+docs-check:
+	$(PY) tools/check_docs.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

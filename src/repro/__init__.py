@@ -49,7 +49,10 @@ from repro.gf2.ring import GF2Poly
 from repro.crc.stream import StreamingCrc, crc_combine
 from repro.network.stacked import stacked_hd
 
-__version__ = "1.0.0"
+# The single source of truth for the release version: pyproject.toml
+# declares ``version`` dynamic and reads this attribute at build time,
+# and the CLI's ``--version`` prints it.  Bump here and nowhere else.
+__version__ = "1.1.0"
 
 __all__ = [
     "koopman_to_full",

@@ -9,7 +9,14 @@ would be consumed by a practitioner choosing a CRC:
     python -m repro breakpoints 0xBA0DC66B --hd-max 8 --n-max 4000
     python -m repro search --width 8 --target-hd 4 --bits 100
     python -m repro campaign --width 10 --target-hd 4 --bits 200 --workers 4
+    python -m repro campaign --width 10 --parallel 2 --events run.jsonl
+    python -m repro report run.jsonl
     python -m repro crc CRC-32/IEEE-802.3 --hex 313233343536373839
+
+``report`` is overloaded the way the word is: given a polynomial it
+profiles the polynomial; given the path of an event log written by
+``--events`` it renders the run's observability summary
+(:mod:`repro.obs.report`).
 
 Polynomials are given in the paper's implicit-+1 hex notation when
 they have 32 bits (e.g. ``0xBA0DC66B``) or as full encodings with the
@@ -23,6 +30,7 @@ import os
 import sys
 import warnings
 
+from repro import __version__
 from repro.analysis.polyinfo import report_for
 from repro.analysis.tables import render_table2
 from repro.crc.catalog import CATALOG, get_spec
@@ -93,7 +101,25 @@ def parse_poly(text: str, notation: str = "auto") -> int:
 _POLY_DESTS = ("poly", "poly_a", "poly_b", "link", "app")
 
 
+def _open_events(path: str | None):
+    """An :class:`~repro.obs.events.EventLog` on ``path``, or the
+    shared no-op sink when no path was given (both context-manage)."""
+    from repro.obs.events import NULL_EVENTS, EventLog
+
+    return EventLog(path) if path else NULL_EVENTS
+
+
 def cmd_report(args: argparse.Namespace) -> int:
+    if isinstance(args.poly, str):
+        # main() left the positional unparsed: it names an existing
+        # file, so render the event log it contains instead.
+        from repro.obs.report import RunReport
+
+        rep = RunReport.from_path(args.poly)
+        if args.json:
+            rep.write_bench_json(args.json, name=args.bench_name)
+        print(rep.render())
+        return 0
     table = None
     if args.breakpoints:
         table = hd_breakpoint_table(
@@ -134,8 +160,20 @@ def cmd_search(args: argparse.Namespace) -> int:
     if args.width > 14:
         print("widths beyond 14 need the farm; see repro.dist", file=sys.stderr)
         return 2
+    from repro.obs import metrics as obs_metrics
+
     cfg = SearchConfig.for_bits(args.width, args.target_hd, args.bits)
-    res = search_all(cfg)
+    registry = obs_metrics.MetricsRegistry() if args.metrics else None
+    if registry is not None:
+        obs_metrics.install(registry)
+    try:
+        with _open_events(args.events) as events:
+            res = search_all(cfg, events=events)
+            if registry is not None:
+                events.emit("metrics.snapshot", metrics=registry.snapshot())
+    finally:
+        if registry is not None:
+            obs_metrics.uninstall()
     print(
         f"{res.examined} candidates screened in {res.elapsed_seconds:.1f}s "
         f"({res.filtering_rate:.0f}/s); {len(res.survivors)} achieve "
@@ -148,6 +186,9 @@ def cmd_search(args: argparse.Namespace) -> int:
         sparse = fewest_taps(survivors)[0]
         print(f"fewest taps: {sparse:#x} ({sparse.bit_count()} terms)")
         print(render_table2(census_of(survivors)))
+    if registry is not None:
+        print("metrics:")
+        print(registry.render())
     return 0
 
 
@@ -173,18 +214,21 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 def _run_parallel_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
     from repro.dist.pool import ParallelCoordinator
 
-    runner = ParallelCoordinator(
-        config=cfg,
-        chunk_size=args.chunk_size,
-        processes=args.parallel,
-        checkpoint_path=args.checkpoint,
-        progress_interval=args.progress_interval,
-        log=print,
-    )
-    if args.resume and os.path.exists(args.checkpoint):
-        skipped = runner.resume()
-        print(f"resumed from {args.checkpoint}: {skipped} chunks skipped")
-    elapsed = runner.run()
+    with _open_events(args.events) as events:
+        runner = ParallelCoordinator(
+            config=cfg,
+            chunk_size=args.chunk_size,
+            processes=args.parallel,
+            checkpoint_path=args.checkpoint,
+            progress_interval=args.progress_interval,
+            log=print,
+            events=events,
+            collect_metrics=args.metrics,
+        )
+        if args.resume and os.path.exists(args.checkpoint):
+            skipped = runner.resume()
+            print(f"resumed from {args.checkpoint}: {skipped} chunks skipped")
+        elapsed = runner.run()
     print(runner.queue.progress())
     print(
         f"{len(runner.campaign.survivors)} survivors; "
@@ -193,24 +237,44 @@ def _run_parallel_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
     )
     if args.checkpoint:
         print(f"campaign record written to {args.checkpoint}")
+    if args.metrics:
+        print("worker metrics (merged):")
+        print(runner.metrics.render())
     return 0
 
 
 def _run_simulated_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
     from repro.dist.coordinator import Coordinator
     from repro.dist.worker import ChunkWorker
+    from repro.obs import metrics as obs_metrics
 
-    coord = Coordinator(config=cfg, chunk_size=args.chunk_size)
-    if args.resume and os.path.exists(args.checkpoint):
-        skipped = coord.load_checkpoint(args.checkpoint)
-        print(f"resumed from {args.checkpoint}: {skipped} chunks skipped")
-    workers = [ChunkWorker(f"w{i}", cfg) for i in range(args.workers)]
-    coord.run(workers)
+    registry = obs_metrics.MetricsRegistry() if args.metrics else None
+    if registry is not None:
+        obs_metrics.install(registry)
+    try:
+        with _open_events(args.events) as events:
+            coord = Coordinator(
+                config=cfg, chunk_size=args.chunk_size, events=events
+            )
+            if args.resume and os.path.exists(args.checkpoint):
+                skipped = coord.load_checkpoint(args.checkpoint)
+                print(f"resumed from {args.checkpoint}: {skipped} chunks skipped")
+            workers = [ChunkWorker(f"w{i}", cfg) for i in range(args.workers)]
+            coord.run(workers)
+            if registry is not None:
+                events.emit("metrics.snapshot", metrics=registry.snapshot())
+            if args.checkpoint:
+                coord.save_checkpoint(args.checkpoint)
+    finally:
+        if registry is not None:
+            obs_metrics.uninstall()
     print(coord.queue.progress())
     print(f"{len(coord.campaign.survivors)} survivors")
     if args.checkpoint:
-        coord.save_checkpoint(args.checkpoint)
         print(f"campaign record written to {args.checkpoint}")
+    if registry is not None:
+        print("metrics:")
+        print(registry.render())
     return 0
 
 
@@ -265,7 +329,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="CRC polynomial evaluation & search "
                     "(Koopman, DSN 2002 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Observability flags shared by the commands that do real work.
+    observability = argparse.ArgumentParser(add_help=False)
+    observability.add_argument(
+        "--events", type=str, default=None, metavar="PATH",
+        help="append a structured JSONL event log here (render it "
+             "later with `repro report PATH`); off by default",
+    )
+    observability.add_argument(
+        "--metrics", action="store_true",
+        help="collect counters/timers while running and print them at "
+             "the end; off by default",
+    )
 
     # Poly-taking commands share the notation selector; the raw string
     # is kept until main() knows the choice (the flag may follow the
@@ -280,12 +360,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("report", parents=[notation],
-                       help="everything about one polynomial")
-    p.add_argument("poly")
+                       help="everything about one polynomial, or a run "
+                            "summary of an --events log file")
+    p.add_argument("poly", metavar="poly|events.jsonl",
+                   help="a polynomial, or the path of an event log "
+                        "written by `search`/`campaign --events`")
     p.add_argument("--breakpoints", action="store_true",
                    help="also compute HD bands (slower)")
     p.add_argument("--hd-max", type=int, default=8)
     p.add_argument("--n-max", type=int, default=3000)
+    p.add_argument("--json", type=str, default=None, metavar="PATH",
+                   help="(event-log reports) also write the "
+                        "machine-readable BENCH_*.json summary here")
+    p.add_argument("--bench-name", type=str, default="campaign",
+                   help="bench name recorded in the --json envelope")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("hd", parents=[notation],
@@ -308,13 +396,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-max", type=int, default=3000)
     p.set_defaults(fn=cmd_breakpoints)
 
-    p = sub.add_parser("search", help="exhaustive best-polynomial search")
+    p = sub.add_parser("search", parents=[observability],
+                       help="exhaustive best-polynomial search")
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--target-hd", type=int, default=4)
     p.add_argument("--bits", type=int, default=100)
     p.set_defaults(fn=cmd_search)
 
-    p = sub.add_parser("campaign", help="distributed search campaign")
+    p = sub.add_parser("campaign", parents=[observability],
+                       help="distributed search campaign")
     p.add_argument("--width", type=int, default=10)
     p.add_argument("--target-hd", type=int, default=4)
     p.add_argument("--bits", type=int, default=200)
@@ -376,6 +466,8 @@ def main(argv: list[str] | None = None) -> int:
     for dest in _POLY_DESTS:
         raw = getattr(args, dest, None)
         if isinstance(raw, str):
+            if dest == "poly" and args.fn is cmd_report and os.path.exists(raw):
+                continue  # an event-log path; cmd_report renders it
             try:
                 setattr(args, dest, parse_poly(raw, notation))
             except argparse.ArgumentTypeError as exc:

@@ -19,17 +19,26 @@ from repro.dist.faults import WorkerCrashed
 from repro.dist.queue import TaskQueue
 from repro.dist.tasks import SearchTask, partition_space
 from repro.dist.worker import ChunkWorker
+from repro.obs.events import NULL_EVENTS, NullEventLog
 from repro.search.exhaustive import SearchConfig, SearchResult
 from repro.search.records import CampaignRecord
 
 
 @dataclass
 class Coordinator:
-    """Drives a fleet of :class:`ChunkWorker` over a shared queue."""
+    """Drives a fleet of :class:`ChunkWorker` over a shared queue.
+
+    ``events`` (default: the shared no-op sink) receives the same
+    vocabulary the wall-clock pool emits -- ``campaign.start``,
+    ``chunk.done``, ``lease.expire``, ``worker.crash``,
+    ``checkpoint.write`` -- with the *logical* clock's ``now`` in the
+    payload, so ``repro report`` reads both backends' logs.
+    """
 
     config: SearchConfig
     chunk_size: int
     lease_duration: float = 600.0
+    events: NullEventLog = NULL_EVENTS
     queue: TaskQueue = field(init=False)
     campaign: CampaignRecord = field(init=False)
     duplicate_deliveries: int = 0
@@ -38,6 +47,12 @@ class Coordinator:
     def __post_init__(self) -> None:
         tasks = partition_space(self.config.width, self.chunk_size)
         self.queue = TaskQueue(tasks, lease_duration=self.lease_duration)
+        self.queue.on_expire = lambda task, now: self.events.emit(
+            "lease.expire",
+            chunk=task.chunk_id,
+            owner=task.owner,
+            attempt=task.attempts,
+        )
         self.campaign = CampaignRecord(
             width=self.config.width,
             data_word_bits=self.config.final_length,
@@ -51,6 +66,17 @@ class Coordinator:
         )
         if not merged:
             self.duplicate_deliveries += 1
+        self.events.emit(
+            "chunk.done",
+            chunk=task.chunk_id,
+            attempt=task.attempts,
+            worker=worker_id,
+            examined=result.examined,
+            survivors=len(result.survivors),
+            seconds=round(result.elapsed_seconds, 6),
+            stage_kills=result.stage_kills,
+            duplicate=not merged,
+        )
 
     def run(self, workers: list[ChunkWorker], *, time_per_chunk: float = 1.0) -> float:
         """Round-robin the fleet until every chunk is done.
@@ -63,6 +89,16 @@ class Coordinator:
         """
         now = 0.0
         idle_rounds = 0
+        self.events.emit(
+            "campaign.start",
+            backend="simulated",
+            width=self.config.width,
+            target_hd=self.config.target_hd,
+            final_length=self.config.final_length,
+            chunk_size=self.chunk_size,
+            chunks=len(self.queue),
+            workers=len(workers),
+        )
         while not self.queue.all_done:
             live = [w for w in workers if w.alive]
             if not live:
@@ -75,6 +111,7 @@ class Coordinator:
                 try:
                     outcome = worker.run_one(self.queue, now)
                 except WorkerCrashed:
+                    self.events.emit("worker.crash", worker=worker.worker_id)
                     continue
                 if outcome is None:
                     continue
@@ -95,6 +132,13 @@ class Coordinator:
                     raise RuntimeError(
                         "campaign stalled: " + self.queue.progress()
                     )
+        self.events.emit(
+            "campaign.end",
+            elapsed=round(now, 6),
+            completions=len(self.campaign.chunks_done),
+            examined=self.campaign.candidates_examined,
+            survivors=len(self.campaign.survivors),
+        )
         return now
 
     # -- checkpointing -------------------------------------------------
@@ -103,6 +147,11 @@ class Coordinator:
         """Atomically persist the campaign record plus the campaign
         identity (width/target_hd/final_length/chunk_size)."""
         checkpoint_io.save(path, self.campaign, self.config, self.chunk_size)
+        self.events.emit(
+            "checkpoint.write",
+            path=path,
+            chunks_done=len(self.campaign.chunks_done),
+        )
 
     def load_checkpoint(self, path: str) -> int:
         """Restore a campaign record; marks its completed chunks done
@@ -123,4 +172,5 @@ class Coordinator:
             if self.queue.complete(chunk_id, "checkpoint", 0.0):
                 skipped += 1
         self.campaign = campaign
+        self.events.emit("campaign.resume", path=path, skipped=skipped)
         return skipped

@@ -47,6 +47,9 @@ from repro.dist.faults import POOL_CRASH, POOL_KILL, FaultPlan, WorkerCrashed
 from repro.dist.progress import ProgressTracker
 from repro.dist.queue import TaskQueue
 from repro.dist.tasks import SearchTask, partition_space
+from repro.obs import metrics as obs_metrics
+from repro.obs.events import NULL_EVENTS, NullEventLog
+from repro.obs.metrics import MetricsRegistry
 from repro.search.exhaustive import SearchConfig, SearchResult, search_chunk
 from repro.search.records import CampaignRecord
 
@@ -61,12 +64,19 @@ def _run_chunk(
     chunk_id: int,
     attempt: int,
     faults: FaultPlan | None,
-) -> tuple[int, SearchResult]:
+    collect_metrics: bool = False,
+) -> tuple[int, SearchResult, dict | None]:
     """Subprocess entry point: execute one chunk of the search.
 
     Must stay a module-level function (it is pickled by name), and its
     return value must stay picklable -- ``SearchResult`` holds only
     plain dataclasses, which ``tests/dist/test_pool.py`` pins down.
+
+    When ``collect_metrics`` is set, a fresh per-chunk
+    :class:`~repro.obs.metrics.MetricsRegistry` is installed for the
+    duration of the chunk and its plain-dict snapshot rides back with
+    the result for the parent to merge -- per-process aggregation with
+    merge-at-chunk-completion, costing the worker one dict per chunk.
 
     Injected faults fire on the *first* attempt only: the reassigned
     retry models a healthy machine picking up the forfeited chunk.
@@ -80,7 +90,15 @@ def _run_chunk(
         slowdown = faults.slowdown(POOL_CRASH)
         if slowdown > 1.0:
             time.sleep(min(slowdown - 1.0, 5.0))
-    return chunk_id, search_chunk(config, start_index, end_index)
+    if not collect_metrics:
+        return chunk_id, search_chunk(config, start_index, end_index), None
+    registry = MetricsRegistry()
+    previous = obs_metrics.install(registry)
+    try:
+        result = search_chunk(config, start_index, end_index)
+    finally:
+        obs_metrics.install(previous)
+    return chunk_id, result, registry.snapshot()
 
 
 @dataclass
@@ -94,6 +112,7 @@ class PoolStats:
     pool_rebuilds: int = 0
     checkpoints_written: int = 0
     skipped_from_checkpoint: int = 0
+    lease_expiries: int = 0
 
 
 @dataclass
@@ -118,6 +137,9 @@ class ParallelCoordinator:
     progress_interval: float = 10.0
     log: Callable[[str], None] | None = None
     max_seconds: float | None = None
+    events: NullEventLog = NULL_EVENTS
+    collect_metrics: bool = False
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     queue: TaskQueue = field(init=False)
     campaign: CampaignRecord = field(init=False)
     tracker: ProgressTracker = field(init=False)
@@ -128,6 +150,7 @@ class ParallelCoordinator:
             raise ValueError("processes must be positive")
         tasks = partition_space(self.config.width, self.chunk_size)
         self.queue = TaskQueue(tasks, lease_duration=self.lease_duration)
+        self.queue.on_expire = self._on_lease_expire
         self.campaign = CampaignRecord(
             width=self.config.width,
             data_word_bits=self.config.final_length,
@@ -136,6 +159,16 @@ class ParallelCoordinator:
         self.tracker = ProgressTracker(total_chunks=len(self.queue))
         self._completions_since_checkpoint = 0
         self._t0: float | None = None
+
+    def _on_lease_expire(self, task: SearchTask, now: float) -> None:
+        """Queue observer: a silent worker forfeited its chunk."""
+        self.stats.lease_expiries += 1
+        self.events.emit(
+            "lease.expire",
+            chunk=task.chunk_id,
+            owner=task.owner,
+            attempt=task.attempts,
+        )
 
     # -- checkpoint / resume -------------------------------------------
 
@@ -146,6 +179,11 @@ class ParallelCoordinator:
             raise ValueError("no checkpoint path configured")
         checkpoint_io.save(target, self.campaign, self.config, self.chunk_size)
         self.stats.checkpoints_written += 1
+        self.events.emit(
+            "checkpoint.write",
+            path=target,
+            chunks_done=len(self.campaign.chunks_done),
+        )
 
     def resume(self, path: str | None = None) -> int:
         """Load a checkpoint written by a compatible campaign and mark
@@ -168,6 +206,7 @@ class ParallelCoordinator:
                 skipped += 1
         self.campaign = campaign
         self.stats.skipped_from_checkpoint = skipped
+        self.events.emit("campaign.resume", path=target, skipped=skipped)
         return skipped
 
     # -- the wall-clock drive loop -------------------------------------
@@ -183,7 +222,13 @@ class ParallelCoordinator:
         if self.log is not None:
             self.log(message)
 
-    def _deliver(self, task: SearchTask, result: SearchResult, now: float) -> None:
+    def _deliver(
+        self,
+        task: SearchTask,
+        result: SearchResult,
+        now: float,
+        worker_metrics: dict | None = None,
+    ) -> None:
         if task.attempts > 1:
             self.stats.reassignments += 1
         deliveries = 1
@@ -198,6 +243,20 @@ class ParallelCoordinator:
             )
             if not merged:
                 self.stats.duplicate_deliveries += 1
+            self.events.emit(
+                "chunk.done",
+                chunk=task.chunk_id,
+                attempt=task.attempts,
+                examined=result.examined,
+                survivors=len(result.survivors),
+                seconds=round(result.elapsed_seconds, 6),
+                stage_kills=result.stage_kills,
+                duplicate=not merged,
+            )
+        # Worker metrics merge exactly once per computed chunk -- the
+        # duplicate-delivery replay above re-merges no numbers, same as
+        # the campaign record.
+        self.metrics.merge(worker_metrics)
         self.stats.completions += 1
         self._completions_since_checkpoint += 1
         if (
@@ -217,6 +276,16 @@ class ParallelCoordinator:
         # wall clock, and observe() forbids time regressing.
         self.tracker = ProgressTracker(total_chunks=len(self.queue))
         self.tracker.observe(0.0, self.queue.done)
+        self.events.emit(
+            "campaign.start",
+            backend="pool",
+            width=self.config.width,
+            target_hd=self.config.target_hd,
+            final_length=self.config.final_length,
+            chunk_size=self.chunk_size,
+            chunks=len(self.queue),
+            processes=self.processes,
+        )
         executor = self._new_executor()
         in_flight: dict[Future, SearchTask] = {}
         renew_interval = max(self.lease_duration / 3.0, 0.05)
@@ -247,11 +316,15 @@ class ParallelCoordinator:
                             task.chunk_id,
                             task.attempts,
                             self.faults,
+                            self.collect_metrics,
                         )
                     except BrokenProcessPool:
                         executor, in_flight = self._rebuild(executor, in_flight)
                         break
                     in_flight[fut] = task
+                    self.events.emit(
+                        "lease.grant", chunk=task.chunk_id, attempt=task.attempts
+                    )
                 if not in_flight:
                     # All remaining work is leased to failed attempts;
                     # sleep to the earliest expiry so it gets reclaimed.
@@ -268,24 +341,34 @@ class ParallelCoordinator:
                     task = in_flight.pop(fut)
                     exc = fut.exception()
                     if exc is None:
-                        _, result = fut.result()
-                        self._deliver(task, result, now)
+                        _, result, worker_metrics = fut.result()
+                        self._deliver(task, result, now, worker_metrics)
                         self.tracker.observe(now - t0, self.queue.done)
                     elif isinstance(exc, BrokenProcessPool):
                         broken = True
                         self.stats.crashes += 1
+                        self.events.emit(
+                            "worker.crash", chunk=task.chunk_id, kind="killed"
+                        )
                     elif isinstance(exc, WorkerCrashed):
                         # Task-level crash: the pool survives, the
                         # lease is left to expire and be re-leased.
                         self.stats.crashes += 1
+                        self.events.emit(
+                            "worker.crash", chunk=task.chunk_id, kind="crashed"
+                        )
                     else:
                         raise exc
                 if broken:
                     executor, in_flight = self._rebuild(executor, in_flight)
                 if now - last_renew >= renew_interval:
+                    renewed = 0
                     for fut, task in in_flight.items():
                         if not fut.done():
-                            self.queue.renew(task.chunk_id, PARENT_OWNER, now)
+                            if self.queue.renew(task.chunk_id, PARENT_OWNER, now):
+                                renewed += 1
+                    if renewed:
+                        self.events.emit("lease.renew", chunks=renewed)
                     last_renew = now
                 if now - last_summary >= self.progress_interval:
                     self._say(
@@ -300,6 +383,15 @@ class ParallelCoordinator:
         if self.checkpoint_path is not None and self._completions_since_checkpoint:
             self.save_checkpoint()
             self._completions_since_checkpoint = 0
+        if self.collect_metrics:
+            self.events.emit("metrics.snapshot", metrics=self.metrics.snapshot())
+        self.events.emit(
+            "campaign.end",
+            elapsed=round(elapsed, 6),
+            completions=self.stats.completions,
+            examined=self.campaign.candidates_examined,
+            survivors=len(self.campaign.survivors),
+        )
         self._say(
             self.tracker.summary(elapsed) + " | " + self.queue.progress()
         )
@@ -312,6 +404,7 @@ class ParallelCoordinator:
         leases expire on the real clock and the chunks are re-leased."""
         executor.shutdown(wait=False, cancel_futures=True)
         self.stats.pool_rebuilds += 1
+        self.events.emit("pool.rebuild")
         self._say(
             "process pool broken (worker killed); rebuilding -- "
             + self.queue.progress()

@@ -19,6 +19,8 @@ simulator drive the same code.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.dist.tasks import SearchTask, TaskStatus
 
 
@@ -31,6 +33,11 @@ class TaskQueue:
             raise ValueError("duplicate chunk ids")
         self._tasks: dict[int, SearchTask] = {t.chunk_id: t for t in tasks}
         self.lease_duration = lease_duration
+        #: Optional observer invoked as ``on_expire(task, now)`` when a
+        #: lease is reclaimed -- expiry happens lazily inside queue
+        #: operations, so this hook is how the observability layer
+        #: (:mod:`repro.obs`) sees it.  Must not mutate the queue.
+        self.on_expire: Callable[[SearchTask, float], None] | None = None
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -55,6 +62,8 @@ class TaskQueue:
     def _reclaim_expired(self, now: float) -> None:
         for t in self._tasks.values():
             if t.status is TaskStatus.LEASED and t.lease_expires_at <= now:
+                if self.on_expire is not None:
+                    self.on_expire(t, now)  # owner/attempt still visible
                 t.expire(now)
 
     def lease(self, worker_id: str, now: float) -> SearchTask | None:

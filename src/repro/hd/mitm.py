@@ -53,6 +53,7 @@ from repro.hd.cost import (
     check_envelope,
 )
 from repro.hd.syndromes import syndrome_table, syndrome_of_positions
+from repro.obs import metrics as obs_metrics
 
 DEFAULT_CHUNK = 1 << 22  # streamed elements per searchsorted batch
 
@@ -378,6 +379,8 @@ def exists_weight_k(
         return False
     if syn is None:
         syn = syndrome_table(g, N)
+    metrics = obs_metrics.active()
+    metrics.inc("mitm.exists.calls")
     if k == 2:
         # Duplicate syndromes <=> x^(j-i) == 1 <=> order(x) <= N-1.
         return len(np.unique(syn)) < N
@@ -385,7 +388,13 @@ def exists_weight_k(
     s_small, s_large = _split(k)
     side = _materialize_side(syn, s_small, 1, N, target=1, with_positions=False)
     for chunk in _stream_side(syn, s_large, 1, N, chunk_elems):
+        metrics.inc("mitm.chunks_streamed")
+        metrics.inc("mitm.elements_streamed", len(chunk.values))
         if len(_hits(side.values, chunk.values)):
+            # Early bailout: a hit ends the scan without streaming the
+            # rest of the C(N-1, t) side -- the savings the filter
+            # cascade banks on in the dense regime.
+            metrics.inc("mitm.early_bailouts")
             return True
     return False
 
@@ -471,6 +480,8 @@ def windowed_witness(
         )
     if syn is None:
         syn = syndrome_table(g, N)
+    metrics = obs_metrics.active()
+    metrics.inc("mitm.windowed.calls")
     side = _materialize_side(syn, k - 2, 1, window, target=1, with_positions=True)
     queries = syn[1:N]
     for flat in _hits(side.values, queries):
@@ -485,6 +496,9 @@ def windowed_witness(
                 continue
             positions = tuple(sorted(flat_set))
             if syndrome_of_positions(g, positions) == 0:
+                # The cheap existence proof landed: the candidate dies
+                # without a full meet-in-the-middle scan.
+                metrics.inc("mitm.windowed.hits")
                 return positions
     return None
 

@@ -32,6 +32,7 @@ from repro.gf2.poly import degree
 from repro.gf2.order import order_of_x
 from repro.hd.cost import DEFAULT_MEM_ELEMS, EnvelopeError
 from repro.hd.syndromes import syndrome_table, syndrome_of_positions
+from repro.obs import metrics as obs_metrics
 
 _PAIR_CHUNK = 1 << 22
 
@@ -71,6 +72,7 @@ def count_weight_3(
     _require_distinct_singles(g, N)
     if syn is None:
         syn = syndrome_table(g, N)
+    metrics = obs_metrics.active()
     singles_sorted = np.sort(syn, kind="stable")
     total = 0
     for i0 in range(0, N - 1, chunk_rows):
@@ -81,6 +83,8 @@ def count_weight_3(
         left = np.searchsorted(singles_sorted, values, side="left")
         right = np.searchsorted(singles_sorted, values, side="right")
         total += int((right - left).sum())
+        metrics.inc("weights.w3.chunks")
+        metrics.inc("weights.w3.pair_syndromes", len(values))
     # Each codeword {i,j,k} is counted once per role assignment of the
     # "single" (3 ways); matches where the single coincides with a pair
     # member are impossible (would need a zero syndrome).
@@ -116,6 +120,7 @@ def count_weight_4(
         np.bitwise_xor(syn[i + 1 :], syn[i], out=pairs[fill : fill + m])
         fill += m
     assert fill == npairs
+    obs_metrics.active().inc("weights.w4.pair_syndromes", npairs)
     pairs.sort(kind="stable")
     # Sum C(m,2) over equal-value runs, vectorized.
     boundaries = np.flatnonzero(pairs[1:] != pairs[:-1])
@@ -272,16 +277,17 @@ def weight_profile(
                          "brute_force_weights for higher k at tiny lengths")
     r = degree(g)
     N = data_word_bits + r
-    syn = syndrome_table(g, N)
-    profile: dict[int, int] = {2: count_weight_2(g, N, syn)}
-    if k_max >= 3:
-        profile[3] = count_weight_3(g, N, syn)
-    if k_max >= 4:
-        profile[4] = count_weight_4(g, N, syn, mem_elems=mem_elems)
-    if k_max >= 5:
-        profile[5] = count_weight_5(g, N, syn, mem_elems=mem_elems)
-    if k_max >= 6:
-        profile[6] = count_weight_6(g, N, syn, mem_elems=mem_elems)
+    with obs_metrics.active().time("weights.profile_seconds"):
+        syn = syndrome_table(g, N)
+        profile: dict[int, int] = {2: count_weight_2(g, N, syn)}
+        if k_max >= 3:
+            profile[3] = count_weight_3(g, N, syn)
+        if k_max >= 4:
+            profile[4] = count_weight_4(g, N, syn, mem_elems=mem_elems)
+        if k_max >= 5:
+            profile[5] = count_weight_5(g, N, syn, mem_elems=mem_elems)
+        if k_max >= 6:
+            profile[6] = count_weight_6(g, N, syn, mem_elems=mem_elems)
     return profile
 
 

@@ -1,0 +1,62 @@
+"""Campaign observability: structured events, metrics, run reports.
+
+The 2001 search was steerable because its progress was visible; this
+package is the reproduction's instrumentation layer, threaded through
+the distributed substrate (:mod:`repro.dist`), the search driver
+(:mod:`repro.search.exhaustive`) and the weight engines
+(:mod:`repro.hd`):
+
+* :mod:`repro.obs.events` -- zero-dependency JSONL event log
+  (schema-versioned, monotonic timestamps, append-across-resumes,
+  crash-durable), written by the ``--events PATH`` flag on the
+  ``campaign`` and ``search`` CLI commands.
+* :mod:`repro.obs.metrics` -- counters/gauges/timers with per-process
+  collection and additive cross-process merge; worker subprocesses
+  ship snapshots back with their chunk results.
+* :mod:`repro.obs.report` -- ``repro report events.jsonl``: the event
+  log rendered into throughput, lease-expiry rate, bailout efficiency
+  and an ETA check against :mod:`repro.dist.progress`, in human and
+  ``BENCH_*.json`` machine form.
+
+Everything is off by default, and the disabled path is a shared no-op
+object (:data:`~repro.obs.events.NULL_EVENTS`,
+:data:`~repro.obs.metrics.NULL_METRICS`) -- see
+docs/OBSERVABILITY.md for the event schema, the metrics catalog and
+the measured overhead.
+"""
+
+from repro.obs.events import (
+    EventLog,
+    NULL_EVENTS,
+    NullEventLog,
+    SCHEMA_VERSION,
+    iter_events,
+    read_events,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    TimerStat,
+    active,
+    install,
+    uninstall,
+)
+from repro.obs.report import RunReport
+
+__all__ = [
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENTS",
+    "SCHEMA_VERSION",
+    "iter_events",
+    "read_events",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "TimerStat",
+    "active",
+    "install",
+    "uninstall",
+    "RunReport",
+]

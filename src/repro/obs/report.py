@@ -1,0 +1,312 @@
+"""Render an event log into a run report.
+
+The inverse of :mod:`repro.obs.events`: given the JSONL a campaign
+(or search) wrote, reconstruct what happened -- chunks completed,
+lease churn, crash/recovery traffic, checkpoint cadence, filtering
+efficiency -- and derive the numbers an operator steers by:
+
+* **throughput** in polynomials (candidates) per second of observed
+  wall time, aggregated across kill/resume sessions;
+* **lease-expiry rate** (expiries per grant), the health signal the
+  2001 farm would have watched for flaky machines;
+* **bailout efficiency**: what fraction of candidates the
+  increasing-length filter cascade killed before the expensive final
+  length (the paper's §4.1 argument, measured);
+* the :class:`~repro.dist.progress.ProgressTracker` estimator's view,
+  replayed from the recorded completion times, so its ETA can be
+  compared against what actually happened.
+
+Two output forms: :meth:`RunReport.render` for humans, and
+:meth:`RunReport.to_bench_dict` for machines -- the same envelope the
+repo's ``BENCH_*.json`` perf-trajectory files use
+(``{"bench": ..., "schema": 1, "config": ..., "metrics": ...}``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.events import iter_events
+from repro.obs.metrics import MetricsRegistry
+
+if False:  # import only for type checkers: repro.dist imports repro.obs
+    from repro.dist.progress import ProgressTracker
+
+#: Event names that mark a merged chunk completion, any backend.
+_CHUNK_DONE = ("chunk.done", "search.chunk.done")
+
+
+@dataclass
+class RunReport:
+    """Aggregated view of one event log (possibly many sessions)."""
+
+    path: str = ""
+    sessions: int = 0
+    config: dict[str, Any] = field(default_factory=dict)
+    total_chunks: int | None = None
+    chunks_completed: int = 0
+    chunks_resumed: int = 0
+    candidates_examined: int = 0
+    survivors: int = 0
+    lease_grants: int = 0
+    lease_renewals: int = 0
+    lease_expiries: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    checkpoint_writes: int = 0
+    duplicate_deliveries: int = 0
+    stage_kills: dict[int, int] = field(default_factory=dict)
+    active_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    estimator_rate: float | None = None
+    estimator_eta_seconds: float | None = None
+
+    # -- derived -------------------------------------------------------
+
+    @property
+    def polys_per_second(self) -> float:
+        """Candidates fully dispatched per observed wall second --
+        directly comparable to the coordinator's own accounting and to
+        the paper's "two polynomials per second per CPU"."""
+        if self.active_seconds <= 0:
+            return 0.0
+        return self.candidates_examined / self.active_seconds
+
+    @property
+    def lease_expiry_rate(self) -> float:
+        """Expiries per grant: 0.0 on a healthy fleet, climbing toward
+        1.0 as workers die faster than they finish chunks."""
+        if self.lease_grants == 0:
+            return 0.0
+        return self.lease_expiries / self.lease_grants
+
+    @property
+    def final_length(self) -> int | None:
+        return self.config.get("final_length")
+
+    @property
+    def bailout_efficiency(self) -> float:
+        """Fraction of examined candidates the cascade killed *before*
+        the final length -- the measured value of the paper's
+        increasing-length filtering."""
+        if self.candidates_examined == 0:
+            return 0.0
+        final = self.final_length
+        early = sum(
+            kills
+            for length, kills in self.stage_kills.items()
+            if final is None or length < final
+        )
+        return early / self.candidates_examined
+
+    @property
+    def complete(self) -> bool:
+        if self.total_chunks is None:
+            return False
+        return self.chunks_completed + self.chunks_resumed >= self.total_chunks
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls, records: list[dict[str, Any]], path: str = ""
+    ) -> "RunReport":
+        """Fold a parsed event stream (see
+        :func:`repro.obs.events.read_events`) into a report."""
+        # Deferred: repro.dist instruments itself with repro.obs, so
+        # the package-level import would be circular.
+        from repro.dist.progress import ProgressTracker
+
+        report = cls(path=path)
+        tracker: ProgressTracker | None = None
+        session_last_t = 0.0
+        done_in_log = 0
+        for rec in records:
+            event = rec["event"]
+            t = float(rec.get("t", 0.0))
+            if event == "log.open":
+                report.sessions += 1
+                report.active_seconds += session_last_t
+                session_last_t = 0.0
+                continue
+            session_last_t = max(session_last_t, t)
+            if event == "campaign.start" or event == "search.start":
+                for key in (
+                    "width",
+                    "target_hd",
+                    "final_length",
+                    "chunk_size",
+                    "chunks",
+                    "processes",
+                    "workers",
+                    "backend",
+                ):
+                    if key in rec:
+                        report.config[key] = rec[key]
+                if "chunks" in rec:
+                    report.total_chunks = rec["chunks"]
+                    tracker = ProgressTracker(total_chunks=rec["chunks"])
+                    done_in_log = report.chunks_resumed
+            elif event == "campaign.resume":
+                report.chunks_resumed += rec.get("skipped", 0)
+                done_in_log = report.chunks_resumed
+            elif event in _CHUNK_DONE:
+                if rec.get("duplicate"):
+                    report.duplicate_deliveries += 1
+                    continue
+                report.chunks_completed += 1
+                report.candidates_examined += rec.get("examined", 0)
+                report.survivors += rec.get("survivors", 0)
+                report.busy_seconds += rec.get("seconds", 0.0)
+                for length, kills in rec.get("stage_kills", {}).items():
+                    length = int(length)
+                    report.stage_kills[length] = (
+                        report.stage_kills.get(length, 0) + kills
+                    )
+                done_in_log += 1
+                if tracker is not None:
+                    try:
+                        tracker.observe(t, done_in_log)
+                    except ValueError:
+                        # A fresh session restarts the clock; so does
+                        # the estimator on the real coordinator.
+                        tracker = ProgressTracker(
+                            total_chunks=tracker.total_chunks
+                        )
+                        tracker.observe(t, done_in_log)
+            elif event == "lease.grant":
+                report.lease_grants += 1
+            elif event == "lease.renew":
+                report.lease_renewals += rec.get("chunks", 1)
+            elif event == "lease.expire":
+                report.lease_expiries += 1
+            elif event == "worker.crash":
+                report.worker_crashes += 1
+            elif event == "pool.rebuild":
+                report.pool_rebuilds += 1
+            elif event == "checkpoint.write":
+                report.checkpoint_writes += 1
+            elif event == "metrics.snapshot":
+                report.metrics.merge(rec.get("metrics"))
+        report.active_seconds += session_last_t
+        if tracker is not None:
+            report.estimator_rate = tracker.rate
+            if tracker.samples:
+                report.estimator_eta_seconds = tracker.eta(
+                    tracker.samples[-1][0]
+                )
+        return report
+
+    @classmethod
+    def from_path(cls, path: str | os.PathLike[str]) -> "RunReport":
+        return cls.from_events(list(iter_events(path)), path=os.fspath(path))
+
+    # -- output --------------------------------------------------------
+
+    def render(self) -> str:
+        """The human-readable run summary the CLI prints."""
+        lines = [f"run report: {self.path or '(in-memory events)'}"]
+        if self.config:
+            cfg = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.config.items())
+            )
+            lines.append(f"  campaign: {cfg}")
+        status = "complete" if self.complete else "incomplete"
+        total = self.total_chunks if self.total_chunks is not None else "?"
+        lines += [
+            f"  sessions: {self.sessions} "
+            f"({self.active_seconds:.1f}s observed wall time)",
+            f"  chunks: {self.chunks_completed} computed"
+            + (
+                f" + {self.chunks_resumed} resumed from checkpoint"
+                if self.chunks_resumed
+                else ""
+            )
+            + f" of {total} ({status})",
+            f"  candidates: {self.candidates_examined} examined, "
+            f"{self.survivors} survivors",
+            f"  throughput: {self.polys_per_second:.1f} polys/s observed "
+            f"({self.busy_seconds:.1f} worker-busy seconds)",
+            f"  leases: {self.lease_grants} granted, "
+            f"{self.lease_renewals} renewals, {self.lease_expiries} expired "
+            f"(expiry rate {self.lease_expiry_rate:.1%})",
+            f"  faults: {self.worker_crashes} worker crashes, "
+            f"{self.pool_rebuilds} pool rebuilds, "
+            f"{self.duplicate_deliveries} duplicate deliveries",
+            f"  checkpoints: {self.checkpoint_writes} written",
+        ]
+        if self.stage_kills:
+            final = self.final_length
+            parts = []
+            for length in sorted(self.stage_kills):
+                mark = "" if final is None or length < final else " (final)"
+                parts.append(f"{self.stage_kills[length]}@{length}b{mark}")
+            lines.append(
+                f"  filter cascade: {', '.join(parts)} killed; "
+                f"bailout efficiency {self.bailout_efficiency:.1%} "
+                "before the final length"
+            )
+        if self.estimator_rate is not None:
+            eta = self.estimator_eta_seconds
+            eta_s = (
+                "complete"
+                if not eta
+                else f"{eta:.1f}s of work remaining at that rate"
+            )
+            lines.append(
+                f"  estimator: {self.estimator_rate:.2f} chunks/s over the "
+                f"final window; {eta_s}"
+            )
+        metrics_text = self.metrics.render()
+        if metrics_text != "  (no metrics recorded)":
+            lines.append("  worker metrics (merged):")
+            lines.append(
+                "\n".join("  " + line for line in metrics_text.split("\n"))
+            )
+        return "\n".join(lines)
+
+    def to_bench_dict(self, name: str = "campaign") -> dict[str, Any]:
+        """The machine-readable summary, in the repo's ``BENCH_*.json``
+        envelope: ``bench`` name, ``schema`` version, the campaign
+        ``config``, and a flat ``metrics`` mapping."""
+        return {
+            "bench": name,
+            "schema": 1,
+            "config": dict(self.config),
+            "metrics": {
+                "sessions": self.sessions,
+                "active_seconds": round(self.active_seconds, 3),
+                "busy_seconds": round(self.busy_seconds, 3),
+                "chunks_completed": self.chunks_completed,
+                "chunks_resumed": self.chunks_resumed,
+                "total_chunks": self.total_chunks,
+                "candidates_examined": self.candidates_examined,
+                "survivors": self.survivors,
+                "polys_per_second": round(self.polys_per_second, 3),
+                "lease_grants": self.lease_grants,
+                "lease_expiries": self.lease_expiries,
+                "lease_expiry_rate": round(self.lease_expiry_rate, 4),
+                "worker_crashes": self.worker_crashes,
+                "pool_rebuilds": self.pool_rebuilds,
+                "checkpoint_writes": self.checkpoint_writes,
+                "duplicate_deliveries": self.duplicate_deliveries,
+                "bailout_efficiency": round(self.bailout_efficiency, 4),
+                "stage_kills": {
+                    str(k): v for k, v in sorted(self.stage_kills.items())
+                },
+            },
+        }
+
+    def write_bench_json(
+        self, path: str | os.PathLike[str], name: str = "campaign"
+    ) -> None:
+        """Write :meth:`to_bench_dict` to ``path`` (atomic rename)."""
+        tmp = os.fspath(path) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(self.to_bench_dict(name), f, indent=1, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, path)

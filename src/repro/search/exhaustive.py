@@ -29,6 +29,8 @@ from repro.hd.cost import DEFAULT_MEM_ELEMS, DEFAULT_STREAM_ELEMS
 from repro.hd.hamming import hamming_distance
 from repro.hd.invariants import WeightMonitor
 from repro.hd.weights import weight_profile
+from repro.obs import metrics as obs_metrics
+from repro.obs.events import NULL_EVENTS, NullEventLog
 from repro.search.records import CampaignRecord, PolyRecord
 from repro.search.space import candidate_count, canonical_candidates
 
@@ -168,10 +170,22 @@ def _evaluate_candidate(g: int, config: SearchConfig) -> PolyRecord:
 
 
 def search_chunk(
-    config: SearchConfig, start_index: int, end_index: int
+    config: SearchConfig,
+    start_index: int,
+    end_index: int,
+    *,
+    events: NullEventLog = NULL_EVENTS,
 ) -> SearchResult:
     """Evaluate the canonical candidates whose dense index falls in
-    ``[start_index, end_index)`` -- the unit of distributed work."""
+    ``[start_index, end_index)`` -- the unit of distributed work.
+
+    Observability (all off by default, see :mod:`repro.obs`): the
+    chunk outcome -- candidates examined, filter-pass survivors, and
+    kills per cascade length -- goes to ``events`` as one
+    ``search.chunk.done`` record and to the process-local metrics
+    registry.  Instrumentation stays at chunk granularity so the
+    per-candidate hot loop is untouched.
+    """
     t0 = time.perf_counter()
     result = SearchResult(config=config)
     for g in canonical_candidates(config.width, start_index, end_index):
@@ -183,17 +197,43 @@ def search_chunk(
                 result.stage_kills.get(record.filtered_at_bits, 0) + 1
             )
     result.elapsed_seconds = time.perf_counter() - t0
+    metrics = obs_metrics.active()
+    if metrics.enabled:
+        metrics.inc("search.candidates", result.examined)
+        metrics.inc("search.survivors", len(result.survivors))
+        for length, kills in result.stage_kills.items():
+            metrics.inc(f"search.stage_kill.{length}", kills)
+        metrics.observe("search.chunk_seconds", result.elapsed_seconds)
+    events.emit(
+        "search.chunk.done",
+        start=start_index,
+        end=end_index,
+        examined=result.examined,
+        survivors=len(result.survivors),
+        seconds=round(result.elapsed_seconds, 6),
+        stage_kills=result.stage_kills,
+    )
     return result
 
 
-def search_all(config: SearchConfig) -> SearchResult:
+def search_all(
+    config: SearchConfig, *, events: NullEventLog = NULL_EVENTS
+) -> SearchResult:
     """Exhaustive search over the full canonical candidate space.
 
     Practical for widths through ~16 (the validation widths the paper
     itself used); at width 32 use the distributed campaign simulator
     instead -- this function would need the 2001 farm.
     """
-    return search_chunk(config, 0, 1 << (config.width - 1))
+    events.emit(
+        "search.start",
+        width=config.width,
+        target_hd=config.target_hd,
+        final_length=config.final_length,
+        filter_lengths=list(config.filter_lengths),
+        chunks=1,  # the whole space in one chunk, so reports close out
+    )
+    return search_chunk(config, 0, 1 << (config.width - 1), events=events)
 
 
 def campaign_from_results(

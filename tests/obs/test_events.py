@@ -1,0 +1,155 @@
+"""Event-log round-trip, session, and durability semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    NULL_EVENTS,
+    SCHEMA_VERSION,
+    EventLog,
+    NullEventLog,
+    iter_events,
+    read_events,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for timestamp assertions."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def tick(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRoundTrip:
+    def test_emit_then_read_preserves_payload(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventLog(path) as log:
+            log.emit("chunk.done", chunk=3, examined=9,
+                     stage_kills={"16": 5}, duplicate=False)
+        records = read_events(path)
+        assert [r["event"] for r in records] == ["log.open", "chunk.done"]
+        done = records[1]
+        assert done["chunk"] == 3
+        assert done["examined"] == 9
+        assert done["stage_kills"] == {"16": 5}
+        assert done["duplicate"] is False
+
+    def test_every_record_is_versioned_and_sequenced(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventLog(path) as log:
+            for _ in range(3):
+                log.emit("x")
+        records = read_events(path)
+        assert [r["v"] for r in records] == [SCHEMA_VERSION] * 4
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+
+    def test_timestamps_are_session_relative_monotonic(self, tmp_path):
+        clock = FakeClock()
+        path = tmp_path / "run.jsonl"
+        log = EventLog(path, clock=clock)
+        clock.tick(1.5)
+        log.emit("a")
+        clock.tick(2.0)
+        log.emit("b")
+        log.close()
+        ts = [r["t"] for r in read_events(path)]
+        assert ts == [0.0, 1.5, 3.5]  # relative to log.open, not epoch
+
+    def test_open_record_carries_wall_anchor_and_pid(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        EventLog(path).close()
+        head = read_events(path)[0]
+        assert head["event"] == "log.open"
+        assert head["wall"] > 1_000_000_000  # epoch seconds, not monotonic
+        assert head["pid"] > 0
+        assert head["schema"] == SCHEMA_VERSION
+
+
+class TestSessions:
+    def test_reopen_appends_a_second_session(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventLog(path) as log:
+            log.emit("campaign.start")
+        with EventLog(path) as log:  # the killed-and-resumed pattern
+            log.emit("campaign.resume")
+        records = read_events(path)
+        opens = [i for i, r in enumerate(records) if r["event"] == "log.open"]
+        assert len(opens) == 2
+        # seq restarts with the session.
+        assert records[opens[1]]["seq"] == 0
+
+    def test_emit_after_close_is_dropped_not_an_error(self, tmp_path):
+        log = EventLog(tmp_path / "run.jsonl")
+        log.close()
+        log.emit("late")  # must not raise
+        assert [r["event"] for r in read_events(tmp_path / "run.jsonl")] == [
+            "log.open"
+        ]
+
+
+class TestDurability:
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventLog(path) as log:
+            log.emit("chunk.done", chunk=1)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"v":1,"seq":2,"t":9.9,"event":"chunk.do')  # SIGKILL
+        records = read_events(path)
+        assert [r["event"] for r in records] == ["log.open", "chunk.done"]
+
+    def test_mid_file_garbage_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        with EventLog(path) as log:
+            log.emit("a")
+        text = path.read_text().replace('"event":"a"', '"event:&&&')
+        path.write_text(text + '{"v":1,"seq":9,"t":1,"event":"b"}\n')
+        with pytest.raises(ValueError, match="not a JSONL event record"):
+            read_events(path)
+
+    def test_non_event_json_raises(self, tmp_path):
+        path = tmp_path / "notlog.jsonl"
+        path.write_text('{"hello": 1}\n{"hello": 2}\n')
+        with pytest.raises(ValueError, match="not an event record"):
+            read_events(path)
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        rec = {"v": SCHEMA_VERSION + 1, "seq": 0, "t": 0, "event": "log.open"}
+        path.write_text(json.dumps(rec) + "\n" + json.dumps(rec) + "\n")
+        with pytest.raises(ValueError, match="newer"):
+            read_events(path)
+
+    def test_iter_events_streams(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventLog(path) as log:
+            log.emit("a")
+        it = iter_events(path)
+        assert next(it)["event"] == "log.open"
+        assert next(it)["event"] == "a"
+        with pytest.raises(StopIteration):
+            next(it)
+
+
+class TestNullSink:
+    def test_null_is_disabled_and_inert(self, tmp_path):
+        assert NULL_EVENTS.enabled is False
+        assert isinstance(NULL_EVENTS, NullEventLog)
+        # No file, no error, context-manageable.
+        with NULL_EVENTS as sink:
+            sink.emit("anything", arbitrary="payload")
+        NULL_EVENTS.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_real_log_is_a_null_log_substitute(self, tmp_path):
+        # Call sites type against NullEventLog; EventLog must satisfy it.
+        assert issubclass(EventLog, NullEventLog)
+        assert EventLog(tmp_path / "x.jsonl").enabled is True

@@ -1,0 +1,275 @@
+"""Run-report semantics, from synthetic event streams and from real
+campaigns -- including the acceptance scenario: a killed-and-resumed
+parallel campaign whose event log reconstructs what happened."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dist.faults import POOL_KILL, FaultPlan
+from repro.dist.pool import ParallelCoordinator
+from repro.dist.coordinator import Coordinator
+from repro.dist.worker import ChunkWorker
+from repro.obs.events import EventLog, read_events
+from repro.obs.report import RunReport
+from repro.search.exhaustive import SearchConfig
+
+CFG = SearchConfig(width=8, target_hd=4, filter_lengths=(16, 40, 100),
+                   confirm_weights=False)
+MAX_SECONDS = 120.0
+
+
+def make_runner(events, **kwargs):
+    kwargs.setdefault("config", CFG)
+    kwargs.setdefault("chunk_size", 8)
+    kwargs.setdefault("processes", 2)
+    kwargs.setdefault("lease_duration", 0.5)
+    kwargs.setdefault("max_seconds", MAX_SECONDS)
+    return ParallelCoordinator(events=events, **kwargs)
+
+
+def synthetic_stream():
+    """A hand-written two-session log exercising every fold path."""
+    return [
+        {"v": 1, "seq": 0, "t": 0.0, "event": "log.open", "wall": 1e9, "pid": 1},
+        {"v": 1, "seq": 1, "t": 0.0, "event": "campaign.start",
+         "backend": "pool", "width": 8, "target_hd": 4, "final_length": 100,
+         "chunk_size": 8, "chunks": 4, "processes": 2},
+        {"v": 1, "seq": 2, "t": 0.1, "event": "lease.grant", "chunk": 0,
+         "attempt": 1},
+        {"v": 1, "seq": 3, "t": 0.2, "event": "lease.grant", "chunk": 1,
+         "attempt": 1},
+        {"v": 1, "seq": 4, "t": 2.0, "event": "chunk.done", "chunk": 0,
+         "attempt": 1, "examined": 10, "survivors": 2, "seconds": 1.5,
+         "stage_kills": {"16": 6, "100": 2}, "duplicate": False},
+        {"v": 1, "seq": 5, "t": 2.1, "event": "chunk.done", "chunk": 0,
+         "attempt": 1, "examined": 10, "survivors": 2, "seconds": 1.5,
+         "stage_kills": {"16": 6, "100": 2}, "duplicate": True},
+        {"v": 1, "seq": 6, "t": 2.5, "event": "lease.expire", "chunk": 1,
+         "owner": "pool-parent", "attempt": 1},
+        {"v": 1, "seq": 7, "t": 2.6, "event": "worker.crash", "chunk": 1,
+         "kind": "killed"},
+        {"v": 1, "seq": 8, "t": 2.7, "event": "pool.rebuild"},
+        {"v": 1, "seq": 9, "t": 3.0, "event": "checkpoint.write",
+         "path": "c.json", "chunks_done": 1},
+        # Session 2: resumed after a kill.
+        {"v": 1, "seq": 0, "t": 0.0, "event": "log.open", "wall": 2e9, "pid": 2},
+        {"v": 1, "seq": 1, "t": 0.0, "event": "campaign.resume",
+         "path": "c.json", "skipped": 1},
+        {"v": 1, "seq": 2, "t": 0.0, "event": "campaign.start",
+         "backend": "pool", "width": 8, "target_hd": 4, "final_length": 100,
+         "chunk_size": 8, "chunks": 4, "processes": 2},
+        {"v": 1, "seq": 3, "t": 0.5, "event": "lease.grant", "chunk": 1,
+         "attempt": 2},
+        {"v": 1, "seq": 4, "t": 1.0, "event": "chunk.done", "chunk": 1,
+         "attempt": 2, "examined": 10, "survivors": 1, "seconds": 0.8,
+         "stage_kills": {"16": 9}, "duplicate": False},
+        {"v": 1, "seq": 5, "t": 1.5, "event": "chunk.done", "chunk": 2,
+         "attempt": 1, "examined": 10, "survivors": 1, "seconds": 0.8,
+         "stage_kills": {"40": 9}, "duplicate": False},
+        {"v": 1, "seq": 6, "t": 2.0, "event": "chunk.done", "chunk": 3,
+         "attempt": 1, "examined": 10, "survivors": 1, "seconds": 0.8,
+         "stage_kills": {"40": 9}, "duplicate": False},
+        {"v": 1, "seq": 7, "t": 2.2, "event": "lease.renew", "chunks": 2},
+        {"v": 1, "seq": 8, "t": 3.0, "event": "metrics.snapshot",
+         "metrics": {"counters": {"search.candidates": 40}, "gauges": {},
+                     "timers": {}}},
+        {"v": 1, "seq": 9, "t": 3.0, "event": "campaign.end", "elapsed": 3.0,
+         "completions": 3, "examined": 40, "survivors": 5},
+    ]
+
+
+class TestFromSyntheticEvents:
+    def test_counts_and_config(self):
+        rep = RunReport.from_events(synthetic_stream())
+        assert rep.sessions == 2
+        assert rep.config["width"] == 8
+        assert rep.total_chunks == 4
+        assert rep.chunks_completed == 4          # chunk 0 once + 1,2,3
+        assert rep.chunks_resumed == 1
+        assert rep.duplicate_deliveries == 1      # the duplicate is skipped
+        assert rep.candidates_examined == 40
+        assert rep.survivors == 5
+        assert rep.complete
+
+    def test_fault_and_lease_accounting(self):
+        rep = RunReport.from_events(synthetic_stream())
+        assert rep.lease_grants == 3
+        assert rep.lease_renewals == 2
+        assert rep.lease_expiries == 1
+        assert rep.lease_expiry_rate == pytest.approx(1 / 3)
+        assert rep.worker_crashes == 1
+        assert rep.pool_rebuilds == 1
+        assert rep.checkpoint_writes == 1
+
+    def test_throughput_and_sessions(self):
+        rep = RunReport.from_events(synthetic_stream())
+        # Session walls: 3.0s + 3.0s observed.
+        assert rep.active_seconds == pytest.approx(6.0)
+        assert rep.polys_per_second == pytest.approx(40 / 6.0)
+        assert rep.busy_seconds == pytest.approx(1.5 + 0.8 * 3)
+
+    def test_bailout_efficiency_excludes_final_length(self):
+        rep = RunReport.from_events(synthetic_stream())
+        # Kills: 6@16 + 2@100(final) + 9@16 + 9@40 + 9@40.
+        assert rep.stage_kills == {16: 15, 40: 18, 100: 2}
+        assert rep.bailout_efficiency == pytest.approx((15 + 18) / 40)
+
+    def test_estimator_replay_survives_session_restart(self):
+        # Session 2 timestamps restart at 0 -- the fold must not feed a
+        # regressed clock into ProgressTracker.
+        rep = RunReport.from_events(synthetic_stream())
+        assert rep.estimator_rate is not None and rep.estimator_rate > 0
+        assert rep.estimator_eta_seconds == 0.0  # campaign finished
+
+    def test_metrics_snapshot_merged(self):
+        rep = RunReport.from_events(synthetic_stream())
+        assert rep.metrics.counters["search.candidates"] == 40
+
+    def test_bench_envelope(self, tmp_path):
+        rep = RunReport.from_events(synthetic_stream())
+        bench = rep.to_bench_dict(name="unit")
+        assert bench["bench"] == "unit"
+        assert bench["schema"] == 1
+        assert bench["config"]["chunks"] == 4
+        assert bench["metrics"]["candidates_examined"] == 40
+        assert bench["metrics"]["lease_expiries"] == 1
+        path = tmp_path / "BENCH_unit.json"
+        rep.write_bench_json(path, name="unit")
+        assert json.loads(path.read_text()) == bench
+
+    def test_empty_stream_renders_without_error(self):
+        rep = RunReport.from_events([])
+        assert not rep.complete
+        assert rep.polys_per_second == 0.0
+        assert rep.lease_expiry_rate == 0.0
+        assert "run report" in rep.render()
+
+
+class TestRealCampaigns:
+    def test_clean_pool_run_report_matches_coordinator(self, tmp_path):
+        log_path = tmp_path / "run.jsonl"
+        with EventLog(log_path) as events:
+            runner = make_runner(events, collect_metrics=True)
+            elapsed = runner.run()
+        rep = RunReport.from_path(log_path)
+        assert rep.complete
+        assert rep.total_chunks == len(runner.queue)
+        assert rep.chunks_completed == runner.stats.completions
+        assert rep.candidates_examined == runner.campaign.candidates_examined
+        assert rep.survivors == len(runner.campaign.survivors)
+        own = runner.campaign.candidates_examined / elapsed
+        assert rep.polys_per_second == pytest.approx(own, rel=0.10)
+        # Worker metrics rode home and agree with the event totals.
+        assert rep.metrics.counters["search.candidates"] == \
+            rep.candidates_examined
+
+    def test_simulated_coordinator_uses_same_vocabulary(self, tmp_path):
+        log_path = tmp_path / "sim.jsonl"
+        with EventLog(log_path) as events:
+            coord = Coordinator(config=CFG, chunk_size=8, events=events)
+            coord.run([ChunkWorker(f"w{i}", CFG) for i in range(3)])
+            coord.save_checkpoint(str(tmp_path / "c.json"))
+        rep = RunReport.from_path(log_path)
+        assert rep.config["backend"] == "simulated"
+        assert rep.complete
+        assert rep.candidates_examined == coord.campaign.candidates_examined
+        assert rep.checkpoint_writes == 1
+
+    def test_acceptance_killed_and_resumed_campaign(self, tmp_path):
+        """ISSUE acceptance: a --parallel 2 campaign with a hard-killed
+        (SIGKILL) worker, resumed into the same event log; the report
+        reconstructs the whole story from the log alone.
+
+        Session 1 runs to completion *through* the kill: finishing
+        requires the killed chunk's lease to expire and be re-leased,
+        so `lease.expire` is guaranteed in the log.  Session 2 is the
+        resume, skipping everything from the checkpoint."""
+        log_path = tmp_path / "run.jsonl"
+        ckpt = str(tmp_path / "campaign.json")
+
+        with EventLog(log_path) as events:
+            first = make_runner(
+                events,
+                faults=FaultPlan(crash_points={POOL_KILL: 1}),
+                checkpoint_path=ckpt,
+                checkpoint_every=4,
+            )
+            e1 = first.run()
+        assert first.stats.pool_rebuilds >= 1   # the kill really happened
+        examined_1 = first.campaign.candidates_examined
+
+        with EventLog(log_path) as events:  # second session, same file
+            second = make_runner(events, checkpoint_path=ckpt)
+            second.resume()
+            at_resume = second.campaign.candidates_examined
+            e2 = second.run()
+        examined_2 = second.campaign.candidates_examined - at_resume
+
+        rep = RunReport.from_path(log_path)
+        # -- structure reconstructed from the log alone --
+        assert rep.sessions == 2
+        assert rep.total_chunks == len(second.queue)
+        assert rep.complete
+        assert rep.chunks_resumed == second.stats.skipped_from_checkpoint
+        assert rep.lease_expiries >= 1          # the killed worker's chunk
+        assert rep.worker_crashes >= 1
+        assert rep.pool_rebuilds >= 1
+        assert rep.checkpoint_writes >= 1
+        # Every computed delivery is in the log: session 1's chunks plus
+        # whatever session 2 had to (re)compute.
+        assert rep.candidates_examined == examined_1 + examined_2
+        # -- throughput agrees with the coordinators' own accounting --
+        own = (examined_1 + examined_2) / (e1 + e2)
+        assert rep.polys_per_second == pytest.approx(own, rel=0.10)
+        # -- and the human rendering mentions the interesting parts --
+        text = rep.render()
+        assert "resumed from checkpoint" in text
+        assert "expired" in text and "complete" in text
+
+    def test_midflight_stop_resume_accounting(self, tmp_path):
+        """A campaign torn down mid-flight (the operator's kill) and
+        resumed finishes with consistent cross-session accounting."""
+        log_path = tmp_path / "run.jsonl"
+        ckpt = str(tmp_path / "campaign.json")
+
+        with EventLog(log_path) as events:
+            first = make_runner(events, checkpoint_path=ckpt,
+                                checkpoint_every=1)
+            e1 = first.run(stop_after=6)
+        assert 0 < first.stats.completions < len(first.queue)
+        examined_1 = first.campaign.candidates_examined
+
+        with EventLog(log_path) as events:
+            second = make_runner(events, checkpoint_path=ckpt)
+            second.resume()
+            at_resume = second.campaign.candidates_examined
+            e2 = second.run()
+        examined_2 = second.campaign.candidates_examined - at_resume
+        assert examined_2 > 0                   # real work left to do
+
+        rep = RunReport.from_path(log_path)
+        assert rep.sessions == 2
+        assert rep.complete
+        assert rep.chunks_completed == (
+            first.stats.completions + second.stats.completions
+        )
+        assert rep.chunks_resumed == second.stats.skipped_from_checkpoint
+        assert rep.candidates_examined == examined_1 + examined_2
+        own = (examined_1 + examined_2) / (e1 + e2)
+        assert rep.polys_per_second == pytest.approx(own, rel=0.10)
+
+    def test_events_off_by_default_writes_nothing(self, tmp_path, monkeypatch):
+        from repro.obs.events import NULL_EVENTS
+
+        monkeypatch.chdir(tmp_path)
+        runner = ParallelCoordinator(config=CFG, chunk_size=8, processes=2,
+                                     max_seconds=MAX_SECONDS)
+        assert runner.events is NULL_EVENTS     # the default sink
+        assert runner.collect_metrics is False
+        runner.run()
+        assert runner.queue.all_done
+        assert list(tmp_path.iterdir()) == []   # no log, no side files
+        assert runner.metrics.counters == {}    # no worker snapshots
