@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-all verify docs-check bench bench-full repro examples clean
+.PHONY: install test test-all verify docs-check bench bench-smoke bench-full repro examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,6 +35,11 @@ docs-check:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# CI-sized screening gate: both backends over a small full space must
+# produce identical records (smoke timings printed, no floor asserted).
+bench-smoke:
+	PYTHONPATH=src $(PY) tools/bench_smoke.py
 
 bench-full:
 	REPRO_FULL=1 $(PY) -m pytest benchmarks/ --benchmark-only

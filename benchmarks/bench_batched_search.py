@@ -1,0 +1,114 @@
+"""E-BATCH: batched screening kernel vs the scalar cascade.
+
+The paper's campaign throughput ("approximately two polynomials
+filtered per second per CPU" on 2001 hardware) is bounded by the
+screening phase: per-candidate syndrome tables and low-weight searches.
+The batched backend (:mod:`repro.search.batched`) evaluates a whole
+block of candidates per numpy op; this exhibit prices that against the
+scalar oracle on the E7b configuration (width-12 full canonical space,
+``SearchConfig.for_bits(12, 4, 300)``).
+
+Method: screening only (:func:`~repro.search.exhaustive.screen_chunk`
+-- survivor confirmation is byte-identical code on both backends),
+interleaved best-of-``REPS`` so background drift penalizes both
+variants alike.  Correctness is asserted before speed: identical kill
+records, survivors and per-stage kill counts, record for record.
+
+Output: ``results/batched_search.json`` plus the committed
+``BENCH_batched_search.json`` at the repo root (schema 1, like
+``BENCH_observability.json``).  Acceptance: >= 10x scalar screening
+throughput (candidates/second).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import replace
+
+from conftest import once
+from repro.search.exhaustive import SearchConfig, expected_examined, screen_chunk
+
+CFG = SearchConfig.for_bits(12, 4, 300)
+REPS = 3
+SPEEDUP_FLOOR = 10.0
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def screen_full_space(config: SearchConfig):
+    end = 1 << (config.width - 1)
+    t0 = time.perf_counter()
+    result = screen_chunk(config, 0, end)
+    return time.perf_counter() - t0, result
+
+
+def test_batched_screening_speedup(benchmark, record):
+    def sweep():
+        best = {"batched": None, "scalar": None}
+        results = {}
+        for _ in range(REPS):
+            for backend in ("batched", "scalar"):
+                elapsed, res = screen_full_space(
+                    replace(CFG, backend=backend)
+                )
+                results[backend] = res
+                if best[backend] is None or elapsed < best[backend]:
+                    best[backend] = elapsed
+        return best, results
+
+    best, results = once(benchmark, sweep)
+
+    # Correctness before speed: the two backends must tell the same
+    # story record for record.
+    batched, scalar = results["batched"], results["scalar"]
+    assert batched.examined == scalar.examined == expected_examined(CFG.width)
+    assert batched.stage_kills == scalar.stage_kills
+    assert batched.records == scalar.records
+    assert [s[:2] for s in batched.survivors] == [
+        s[:2] for s in scalar.survivors
+    ]
+
+    rate = {k: batched.examined / t for k, t in best.items()}
+    speedup = rate["batched"] / rate["scalar"]
+
+    payload = {
+        "width": CFG.width,
+        "target_hd": CFG.target_hd,
+        "filter_lengths": list(CFG.filter_lengths),
+        "batch_size": CFG.batch_size,
+        "candidates": batched.examined,
+        "survivors": len(batched.survivors),
+        "stage_kills": {str(k): v for k, v in sorted(batched.stage_kills.items())},
+        "reps": REPS,
+        "screen_seconds": {k: round(t, 4) for k, t in best.items()},
+        "candidates_per_second": {k: round(r, 1) for k, r in rate.items()},
+        "speedup": round(speedup, 2),
+    }
+    record("batched_search", payload)
+
+    bench = {
+        "bench": "batched_search",
+        "schema": 1,
+        "config": {
+            "width": CFG.width,
+            "target_hd": CFG.target_hd,
+            "final_length": CFG.final_length,
+            "batch_size": CFG.batch_size,
+            "reps": REPS,
+        },
+        "metrics": payload,
+    }
+    out = REPO_ROOT / "BENCH_batched_search.json"
+    tmp = str(out) + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(bench, f, indent=1, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, out)
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batched screening speedup {speedup:.1f}x below "
+        f"{SPEEDUP_FLOOR:.0f}x floor"
+    )

@@ -5,7 +5,7 @@ machinery that decides, for a generator polynomial ``G`` and data-word
 length ``n``, the minimum Hamming distance of the resulting code and
 the undetected-error weights ``W_k``.
 
-Two engines are provided:
+Three engines are provided:
 
 * :mod:`repro.hd.reference` -- the paper's own approach: enumerate
   k-bit error patterns with early bailout and FCS-bits-first ordering.
@@ -16,6 +16,11 @@ Two engines are provided:
   algorithmic substitution that lets a single 2026 CPU verify
   breakpoints (HD=6 to 16,360 bits, etc.) that took the paper's
   workstation farm days; results are bit-identical where both run.
+* :mod:`repro.hd.batched` -- vectorized screening kernels evaluating a
+  whole batch of generators as ``(B, N)`` numpy arrays (batched LFSR
+  syndrome tables, presence-map weight-2/3 screens, composite-key
+  weight-4/5 matching) -- the engine behind the search's default
+  ``backend="batched"``; record-identical to the scalar cascade.
 
 Exactness contract: every public result is exact.  Shortcuts (parity
 of (x+1)-divisible polynomials, order-of-x for weight 2) are theorems,
@@ -24,6 +29,12 @@ existence (witnesses are re-verified), never non-existence.
 """
 
 from repro.hd.syndromes import syndrome_table, syndrome_of_positions
+from repro.hd.batched import (
+    BatchKeys,
+    PositionMap,
+    extend_syndrome_tables,
+    syndrome_tables_batched,
+)
 from repro.hd.mitm import (
     exists_weight_k,
     find_witness,
@@ -67,6 +78,10 @@ from repro.hd.invariants import (
 __all__ = [
     "syndrome_table",
     "syndrome_of_positions",
+    "BatchKeys",
+    "PositionMap",
+    "extend_syndrome_tables",
+    "syndrome_tables_batched",
     "exists_weight_k",
     "find_witness",
     "windowed_witness",

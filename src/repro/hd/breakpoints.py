@@ -36,7 +36,9 @@ from repro.hd.mitm import (
     minimal_codeword_span,
     windowed_witness,
 )
-from repro.hd.syndromes import syndrome_table
+from repro.hd.syndromes import extend_syndrome_table, syndrome_table
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -314,32 +316,25 @@ def max_length_for_hd(
     return limit
 
 
-def refute_hd_at(
+def _refute_weights(
     g: int,
     hd: int,
-    data_word_bits: int,
+    N: int,
+    syn: "np.ndarray",
     *,
     witness_window: int = 400,
     mem_elems: int = DEFAULT_MEM_ELEMS,
     stream_elems: int = DEFAULT_STREAM_ELEMS,
+    k_min: int = 3,
 ) -> tuple[int, tuple[int, ...]] | None:
-    """Inverse filtering: try to *refute* "HD >= hd at this length" by
-    exhibiting an undetected error of weight < hd.
+    """The ascending-``k`` refutation loop over weights
+    ``k_min .. hd-1``, given a ready length-``N`` syndrome table.
 
-    Returns ``(weight, positions)`` of a verified witness, or ``None``
-    if no such error exists (i.e. the HD claim stands -- exact).
-
-    This mirrors the paper's use of fast early-out runs at long
-    lengths to prove upper bounds on achievable HD: a witness is a
-    constructive proof that the HD is not achieved.
+    Shared between :func:`refute_hd_at` (from ``k_min=3``) and the
+    batched screening backend, whose vectorized kernels handle the
+    weights below ``k_min`` and delegate the tail here.
     """
-    r = degree(g)
-    N = data_word_bits + r
-    order = order_of_x(g)
-    if order <= N - 1:
-        return 2, (0, order)
-    syn = syndrome_table(g, N)
-    for k in range(3, hd):
+    for k in range(k_min, hd):
         if k % 2 == 1 and divisible_by_x_plus_1(g):
             continue
         try:
@@ -358,6 +353,51 @@ def refute_hd_at(
         if witness is not None:
             return k, witness
     return None
+
+
+def refute_hd_at(
+    g: int,
+    hd: int,
+    data_word_bits: int,
+    *,
+    witness_window: int = 400,
+    mem_elems: int = DEFAULT_MEM_ELEMS,
+    stream_elems: int = DEFAULT_STREAM_ELEMS,
+    syn: "np.ndarray | None" = None,
+) -> tuple[int, tuple[int, ...]] | None:
+    """Inverse filtering: try to *refute* "HD >= hd at this length" by
+    exhibiting an undetected error of weight < hd.
+
+    Returns ``(weight, positions)`` of a verified witness, or ``None``
+    if no such error exists (i.e. the HD claim stands -- exact).
+
+    This mirrors the paper's use of fast early-out runs at long
+    lengths to prove upper bounds on achievable HD: a witness is a
+    constructive proof that the HD is not achieved.
+
+    ``syn`` may carry a previously computed syndrome table for ``g``
+    (any length); it is extended -- not rebuilt -- to the ``N`` this
+    call needs, which is what lets the filter cascade pay the LFSR
+    cost of each prefix once across all its lengths.
+    """
+    r = degree(g)
+    N = data_word_bits + r
+    order = order_of_x(g)
+    if order <= N - 1:
+        return 2, (0, order)
+    if syn is None:
+        syn = syndrome_table(g, N)
+    elif len(syn) != N:
+        syn = extend_syndrome_table(g, syn, N)
+    return _refute_weights(
+        g,
+        hd,
+        N,
+        syn,
+        witness_window=witness_window,
+        mem_elems=mem_elems,
+        stream_elems=stream_elems,
+    )
 
 
 def increasing_length_filter(

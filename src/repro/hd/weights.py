@@ -37,6 +37,25 @@ from repro.obs import metrics as obs_metrics
 _PAIR_CHUNK = 1 << 22
 
 
+def _pair_block_indices(
+    i0: int, i1: int, N: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Index arrays ``(left, right)`` enumerating every pair ``(i, j)``
+    with ``i0 <= i < i1`` and ``i < j < N`` in row-major order -- the
+    vectorized replacement for the per-row ``syn[i] ^ syn[i+1:]``
+    Python loop.  ``syn[right] ^ syn[left]`` yields the pair syndromes
+    in exactly the order the scalar loop produced them."""
+    rows = np.arange(i0, i1, dtype=np.intp)
+    lens = N - 1 - rows
+    total = int(lens.sum())
+    left = np.repeat(rows, lens)
+    starts = np.cumsum(lens) - lens
+    right = left + 1 + (
+        np.arange(total, dtype=np.intp) - np.repeat(starts, lens)
+    )
+    return left, right
+
+
 def count_weight_2(g: int, codeword_bits: int, syn: np.ndarray | None = None) -> int:
     """Exact ``W2``: undetectable 2-bit errors within the window.
 
@@ -77,9 +96,9 @@ def count_weight_3(
     total = 0
     for i0 in range(0, N - 1, chunk_rows):
         i1 = min(i0 + chunk_rows, N - 1)
-        # Rows i0..i1: XORs syn[i] ^ syn[i+1:].
-        parts = [np.bitwise_xor(syn[i + 1 :], syn[i]) for i in range(i0, i1)]
-        values = np.concatenate(parts)
+        # Rows i0..i1: XORs syn[i] ^ syn[i+1:], one vectorized gather.
+        left, right = _pair_block_indices(i0, i1, N)
+        values = syn[right] ^ syn[left]
         left = np.searchsorted(singles_sorted, values, side="left")
         right = np.searchsorted(singles_sorted, values, side="right")
         total += int((right - left).sum())
@@ -115,10 +134,16 @@ def count_weight_4(
         syn = syndrome_table(g, N)
     pairs = np.empty(npairs, dtype=np.uint64)
     fill = 0
-    for i in range(N - 1):
-        m = N - 1 - i
-        np.bitwise_xor(syn[i + 1 :], syn[i], out=pairs[fill : fill + m])
-        fill += m
+    # Row-blocked so the gather index arrays stay within the pair
+    # chunk budget rather than tripling peak memory.
+    rows_per_block = max(1, _PAIR_CHUNK // max(N - 1, 1))
+    for i0 in range(0, N - 1, rows_per_block):
+        i1 = min(i0 + rows_per_block, N - 1)
+        left, right = _pair_block_indices(i0, i1, N)
+        np.bitwise_xor(
+            syn[right], syn[left], out=pairs[fill : fill + len(left)]
+        )
+        fill += len(left)
     assert fill == npairs
     obs_metrics.active().inc("weights.w4.pair_syndromes", npairs)
     pairs.sort(kind="stable")

@@ -124,14 +124,29 @@ class RunReport:
         report = cls(path=path)
         tracker: ProgressTracker | None = None
         session_last_t = 0.0
+        session_elapsed: float | None = None
         done_in_log = 0
+
+        def _close_session() -> None:
+            # A session's active time is the coordinator's own elapsed
+            # accounting when it reported one (``campaign.end``); only
+            # a session that died without reaching campaign.end falls
+            # back to its last event timestamp, which also counts the
+            # pre-run setup (log open to campaign start) that the
+            # coordinator's clock excludes.
+            report.active_seconds += (
+                session_elapsed if session_elapsed is not None
+                else session_last_t
+            )
+
         for rec in records:
             event = rec["event"]
             t = float(rec.get("t", 0.0))
             if event == "log.open":
+                _close_session()
                 report.sessions += 1
-                report.active_seconds += session_last_t
                 session_last_t = 0.0
+                session_elapsed = None
                 continue
             session_last_t = max(session_last_t, t)
             if event == "campaign.start" or event == "search.start":
@@ -192,7 +207,11 @@ class RunReport:
                 report.checkpoint_writes += 1
             elif event == "metrics.snapshot":
                 report.metrics.merge(rec.get("metrics"))
-        report.active_seconds += session_last_t
+            elif event == "campaign.end" and "elapsed" in rec:
+                session_elapsed = (session_elapsed or 0.0) + float(
+                    rec["elapsed"]
+                )
+        _close_session()
         if tracker is not None:
             report.estimator_rate = tracker.rate
             if tracker.samples:

@@ -34,7 +34,14 @@ from repro.search.space import (
     index_to_poly,
     poly_to_index,
 )
-from repro.search.exhaustive import SearchConfig, SearchResult, search_all, search_chunk
+from repro.search.exhaustive import (
+    SearchConfig,
+    SearchResult,
+    ScreenResult,
+    screen_chunk,
+    search_all,
+    search_chunk,
+)
 from repro.search.census import ClassCensus, census_of, fewest_taps
 from repro.search.records import PolyRecord, CampaignRecord
 
@@ -48,6 +55,8 @@ __all__ = [
     "poly_to_index",
     "SearchConfig",
     "SearchResult",
+    "ScreenResult",
+    "screen_chunk",
     "search_all",
     "search_chunk",
     "ClassCensus",

@@ -1,0 +1,296 @@
+"""Batched screening driver: the alive-mask filter cascade.
+
+:func:`screen_chunk_batched` is the vectorized counterpart of the
+scalar screening loop in :mod:`repro.search.exhaustive`.  It walks the
+chunk's candidates in blocks of up to ``config.batch_size``, builds
+``(B, N)`` syndrome tables once per cascade stage
+(:mod:`repro.hd.batched`), and narrows an *alive set* stage by stage:
+each filter length kills its share of the batch with one round of
+global-sort screens (weight 2 duplicates, weight 3/4/5 composite-key
+matching), and only what's left flows into the next -- longer, more
+expensive -- stage.  Target weights >= 6 (rare: ``target_hd >= 7``)
+drop to the per-row scalar tail shared with
+:func:`repro.hd.breakpoints.refute_hd_at`.
+
+The output is record-for-record identical to the scalar backend --
+same survivors, same per-stage kill counts, same witnesses -- which
+the differential tests in ``tests/search/test_batched.py`` assert on
+full canonical spaces.  Witness choices replicate the scalar
+sequence exactly: weight 2 reports ``(0, order_of_x)``; weights 3-5
+try the windowed extraction first (vectorized for weight 3) and fall
+back to the full meet-in-the-middle witness search on a windowed
+miss, just as the scalar path does.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.hd import batched as hd_batched
+from repro.hd.batched import (
+    BatchKeys,
+    extend_syndrome_tables,
+    syndrome_tables_batched,
+    weight2_witnesses,
+    weight4_exists,
+    weight5_exists,
+)
+from repro.hd.breakpoints import _refute_weights
+from repro.hd.cost import EnvelopeError, check_envelope
+from repro.hd.mitm import find_witness, windowed_witness
+from repro.obs import metrics as obs_metrics
+from repro.obs.events import NULL_EVENTS, NullEventLog
+from repro.search.exhaustive import ScreenResult, SearchConfig
+from repro.search.records import PolyRecord
+from repro.search.space import canonical_mask, index_range_polys
+
+
+def _witness_for(
+    g: int, N: int, k: int, syn: np.ndarray, config: SearchConfig
+) -> tuple[int, ...]:
+    """Extract a weight-``k`` witness for a row the batch screens have
+    proven killable, following the scalar path's exact sequence:
+    windowed extraction first, full MITM witness search on a miss."""
+    try:
+        witness = windowed_witness(
+            g, N, k, window=min(config.witness_window, N), syn=syn
+        )
+    except EnvelopeError:
+        witness = None
+    if witness is None:
+        witness = find_witness(
+            g,
+            N,
+            k,
+            syn=syn,
+            mem_elems=config.mem_elems,
+            stream_elems=config.stream_elems,
+        )
+    assert witness is not None, "batch screen asserted existence"
+    return witness
+
+
+def _screen_batch(
+    config: SearchConfig,
+    g_all: np.ndarray,
+    workspace: hd_batched.PositionMap | None = None,
+) -> tuple[list[PolyRecord | None], list[tuple[int, int, np.ndarray]], dict[int, int]]:
+    """Screen one batch of same-width candidates.
+
+    Returns ``(records, survivors, stage_kills)`` where ``records`` is
+    aligned with ``g_all`` (``None`` at survivor slots) and
+    ``survivors`` holds ``(local_slot, poly, final_syndrome_row)``.
+    """
+    B = len(g_all)
+    r = config.width
+    hd = config.target_hd
+    records: list[PolyRecord | None] = [None] * B
+    kills: dict[int, int] = {}
+    # (x+1) | g  <=>  even popcount: odd weights are immune (parity).
+    immune = (np.bitwise_count(g_all) & np.uint64(1)) == np.uint64(0)
+    alive_slot = np.arange(B)
+    g_alive = g_all
+    tables: np.ndarray | None = None
+
+    for n in config.filter_lengths:
+        if len(alive_slot) == 0:
+            break
+        N = n + r
+        tables = (
+            syndrome_tables_batched(g_alive, N)
+            if tables is None
+            else extend_syndrome_tables(g_alive, tables, N)
+        )
+        keys = BatchKeys(tables, r, workspace=workspace)
+        n_alive = len(alive_slot)
+        kill_weight = np.zeros(n_alive, dtype=np.int64)
+        witnesses: list[tuple[int, ...] | None] = [None] * n_alive
+        eligible = np.ones(n_alive, dtype=bool)
+
+        # Weight 2: a duplicate syndrome anywhere in the window is
+        # exactly "order(x) <= N-1"; witness (0, order) matches the
+        # scalar order-check kill.
+        dup = keys.duplicate_rows()
+        if dup.any():
+            rows = np.flatnonzero(dup)
+            for row, wit in zip(rows.tolist(), weight2_witnesses(tables[rows])):
+                kill_weight[row] = 2
+                witnesses[row] = wit
+            eligible &= ~dup
+
+        # Weights 3..5, ascending (the exactness precondition of every
+        # screen below: lower even/odd weights already clean).
+        tail_k_min = 6
+        for k in (3, 4, 5):
+            if k >= hd or not eligible.any():
+                break
+            if k == 3:
+                mask = keys.weight3_rows() & eligible & ~immune
+                if mask.any():
+                    rows = np.flatnonzero(mask)
+                    vec_wits = keys.weight3_witnesses(
+                        rows, config.witness_window
+                    )
+                    for row, wit in zip(rows.tolist(), vec_wits):
+                        g = int(g_alive[row])
+                        if wit is None:
+                            # No witness within the window: full MITM
+                            # search, same as the scalar fallback.
+                            wit = find_witness(
+                                g,
+                                N,
+                                3,
+                                syn=tables[row],
+                                mem_elems=config.mem_elems,
+                                stream_elems=config.stream_elems,
+                            )
+                            assert wit is not None
+                        kill_weight[row] = 3
+                        witnesses[row] = wit
+                    eligible &= ~mask
+            else:
+                try:
+                    check_envelope(N, k, config.mem_elems, config.stream_elems)
+                except EnvelopeError:
+                    # The scalar path would be envelope-bound here too;
+                    # delegate this weight and everything above it to
+                    # the per-row tail, which replicates it exactly.
+                    tail_k_min = k
+                    break
+                elig_k = eligible if k == 4 else (eligible & ~immune)
+                exists = (
+                    weight4_exists(keys, elig_k)
+                    if k == 4
+                    else weight5_exists(keys, elig_k)
+                )
+                mask = exists & elig_k
+                if mask.any():
+                    for row in np.flatnonzero(mask).tolist():
+                        g = int(g_alive[row])
+                        kill_weight[row] = k
+                        witnesses[row] = _witness_for(
+                            g, N, k, tables[row], config
+                        )
+                    eligible &= ~mask
+
+        if tail_k_min < hd and eligible.any():
+            for row in np.flatnonzero(eligible).tolist():
+                g = int(g_alive[row])
+                refutation = _refute_weights(
+                    g,
+                    hd,
+                    N,
+                    tables[row],
+                    witness_window=config.witness_window,
+                    mem_elems=config.mem_elems,
+                    stream_elems=config.stream_elems,
+                    k_min=tail_k_min,
+                )
+                if refutation is not None:
+                    kill_weight[row], witnesses[row] = refutation
+
+        killed = kill_weight > 0
+        if killed.any():
+            kills[n] = int(killed.sum())
+            final_length = config.final_length
+            for row in np.flatnonzero(killed).tolist():
+                wit = witnesses[row]
+                assert wit is not None
+                records[int(alive_slot[row])] = PolyRecord(
+                    poly=int(g_alive[row]),
+                    width=r,
+                    data_word_bits=final_length,
+                    hd=int(kill_weight[row]),
+                    survived=False,
+                    filtered_at_bits=n,
+                    witness=tuple(map(int, wit)),
+                )
+            keep = ~killed
+            alive_slot = alive_slot[keep]
+            g_alive = g_alive[keep]
+            immune = immune[keep]
+            tables = tables[keep]
+
+    # After the last stage's compaction ``tables`` holds exactly the
+    # survivor rows, so the views handed out share that one array.
+    survivors = [
+        (int(alive_slot[i]), int(g_alive[i]), tables[i])
+        for i in range(len(alive_slot))
+    ]
+    return records, survivors, kills
+
+
+#: Process-wide screening workspace, grown on demand and reused across
+#: chunks: a fresh :class:`~repro.hd.batched.PositionMap` per chunk
+#: would re-pay the page-fault cost of first-touching its pages on
+#: every call (the epoch stamps make reuse free -- see PositionMap).
+_workspace: hd_batched.PositionMap | None = None
+
+
+def _workspace_for(elems: int) -> hd_batched.PositionMap:
+    global _workspace
+    if _workspace is None or len(_workspace.array) < elems:
+        _workspace = hd_batched.PositionMap(elems)
+    return _workspace
+
+
+def screen_chunk_batched(
+    config: SearchConfig,
+    start_index: int,
+    end_index: int,
+    *,
+    events: NullEventLog = NULL_EVENTS,
+) -> ScreenResult:
+    """Batched screening of a dense candidate-index range.
+
+    Emits one ``search.batch.done`` event per block (batch size,
+    survivors, per-stage kills, seconds) and bumps the
+    ``search.batches`` / ``search.batch_kill.{length}`` metrics --
+    chunk-level instrumentation stays with the caller.
+    """
+    polys = index_range_polys(config.width, start_index, end_index)
+    polys = polys[canonical_mask(config.width, polys)]
+    # Composite keys pack the row index above the r syndrome bits.
+    batch_size = min(config.batch_size, 1 << (64 - config.width))
+    result = ScreenResult(config=config)
+    metrics = obs_metrics.active()
+    # One dense position map serves every stage of every batch: each
+    # BatchKeys stamps its writes with a fresh epoch, so the array is
+    # never cleared between stages (see PositionMap).
+    map_elems = min(batch_size, len(polys)) << config.width
+    workspace = (
+        _workspace_for(map_elems)
+        if 0 < map_elems <= hd_batched.BITMAP_BUDGET
+        else None
+    )
+    for base in range(0, len(polys), batch_size):
+        g_batch = polys[base : base + batch_size]
+        t0 = time.perf_counter()
+        records, survivors, kills = _screen_batch(config, g_batch, workspace)
+        seconds = time.perf_counter() - t0
+        offset = len(result.records)
+        result.records.extend(records)
+        result.survivors.extend(
+            (offset + slot, g, syn) for slot, g, syn in survivors
+        )
+        result.examined += len(g_batch)
+        for length, count in kills.items():
+            result.stage_kills[length] = (
+                result.stage_kills.get(length, 0) + count
+            )
+        if metrics.enabled:
+            metrics.inc("search.batches")
+            for length, count in kills.items():
+                metrics.inc(f"search.batch_kill.{length}", count)
+        events.emit(
+            "search.batch.done",
+            start=start_index,
+            end=end_index,
+            batch=len(g_batch),
+            survivors=len(survivors),
+            seconds=round(seconds, 6),
+            stage_kills=kills,
+        )
+    return result

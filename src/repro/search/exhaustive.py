@@ -23,16 +23,24 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.gf2.poly import degree, divisible_by_x_plus_1
-from repro.hd.breakpoints import refute_hd_at
+from repro.gf2.order import order_of_x
+from repro.hd.breakpoints import _refute_weights, refute_hd_at  # noqa: F401
 from repro.hd.cost import DEFAULT_MEM_ELEMS, DEFAULT_STREAM_ELEMS
 from repro.hd.hamming import hamming_distance
 from repro.hd.invariants import WeightMonitor
+from repro.hd.syndromes import extend_syndrome_table, syndrome_table
 from repro.hd.weights import weight_profile
 from repro.obs import metrics as obs_metrics
 from repro.obs.events import NULL_EVENTS, NullEventLog
 from repro.search.records import CampaignRecord, PolyRecord
 from repro.search.space import candidate_count, canonical_candidates
+
+#: Largest width the batched backend handles: the composite-key kernels
+#: need the full generator encoding (width+1 bits) in a machine word.
+BATCHED_MAX_WIDTH = 63
 
 
 @dataclass(frozen=True)
@@ -47,6 +55,13 @@ class SearchConfig:
     W2..W4 computed at the final length (the paper computed exact
     weights for all 21,292 HD=6 survivors' *detection* but left
     precise weights impractical; at scaled widths we can afford them).
+
+    ``backend`` selects the screening engine: ``"batched"`` (default)
+    filters candidates in vectorized blocks of up to ``batch_size``
+    (:mod:`repro.search.batched`); ``"scalar"`` is the one-at-a-time
+    reference path, kept as the differential-test oracle.  Both
+    produce identical records; widths beyond ``BATCHED_MAX_WIDTH``
+    silently use the scalar path.
     """
 
     width: int
@@ -56,6 +71,8 @@ class SearchConfig:
     witness_window: int = 400
     mem_elems: int = DEFAULT_MEM_ELEMS
     stream_elems: int = DEFAULT_STREAM_ELEMS
+    backend: str = "batched"
+    batch_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.width < 3:
@@ -66,6 +83,12 @@ class SearchConfig:
             self.filter_lengths
         ):
             raise ValueError("filter_lengths must be a non-empty ascending sequence")
+        if self.backend not in ("batched", "scalar"):
+            raise ValueError(
+                f"backend must be 'batched' or 'scalar', got {self.backend!r}"
+            )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
 
     @property
     def final_length(self) -> int:
@@ -122,29 +145,93 @@ class SearchResult:
         return self.examined / self.elapsed_seconds
 
 
-def _evaluate_candidate(g: int, config: SearchConfig) -> PolyRecord:
-    """Run one candidate through the cascade; confirm if it survives."""
+@dataclass
+class ScreenResult:
+    """Outcome of the *screening* phase of a chunk: every candidate
+    either has a kill record or is a survivor awaiting confirmation.
+
+    ``records`` is aligned with dense-candidate order and holds
+    ``None`` at survivor slots; ``survivors`` carries
+    ``(slot, poly, syn)`` where ``syn`` is the candidate's final-length
+    syndrome table (screening already paid for it -- confirmation
+    reuses it instead of rebuilding).
+    """
+
+    config: SearchConfig
+    records: list[PolyRecord | None] = field(default_factory=list)
+    survivors: list[tuple[int, int, "np.ndarray | None"]] = field(
+        default_factory=list
+    )
+    examined: int = 0
+    stage_kills: dict[int, int] = field(default_factory=dict)
+
+
+def _screen_candidate(
+    g: int, config: SearchConfig
+) -> tuple[PolyRecord | None, "np.ndarray | None"]:
+    """Scalar screening of one candidate: ``(kill_record, None)`` if a
+    cascade stage refutes it, ``(None, syn)`` -- with the final-length
+    syndrome table -- if it survives.
+
+    One syndrome table is threaded through the whole cascade via
+    :func:`~repro.hd.syndromes.extend_syndrome_table`: each stage pays
+    only for the positions the previous stage didn't already cover.
+    """
+    r = degree(g)
+    order = order_of_x(g)
+    syn: np.ndarray | None = None
     for n in config.filter_lengths:
-        refutation = refute_hd_at(
+        N = n + r
+        if order <= N - 1:
+            return (
+                PolyRecord(
+                    poly=g,
+                    width=config.width,
+                    data_word_bits=config.final_length,
+                    hd=2,
+                    survived=False,
+                    filtered_at_bits=n,
+                    witness=(0, order),
+                ),
+                None,
+            )
+        syn = (
+            syndrome_table(g, N)
+            if syn is None
+            else extend_syndrome_table(g, syn, N)
+        )
+        refutation = _refute_weights(
             g,
             config.target_hd,
-            n,
+            N,
+            syn,
             witness_window=config.witness_window,
             mem_elems=config.mem_elems,
             stream_elems=config.stream_elems,
         )
         if refutation is not None:
             weight, witness = refutation
-            return PolyRecord(
-                poly=g,
-                width=config.width,
-                data_word_bits=config.final_length,
-                hd=weight,
-                survived=False,
-                filtered_at_bits=n,
-                witness=witness,
+            return (
+                PolyRecord(
+                    poly=g,
+                    width=config.width,
+                    data_word_bits=config.final_length,
+                    hd=weight,
+                    survived=False,
+                    filtered_at_bits=n,
+                    witness=witness,
+                ),
+                None,
             )
-    # Survivor: confirm exact HD at the final length.
+    return None, syn
+
+
+def confirm_survivor(
+    g: int, config: SearchConfig, syn: "np.ndarray | None" = None
+) -> PolyRecord:
+    """Exact confirmation of a filter-cascade survivor: HD at the
+    final length (optionally plus the exact low-weight profile),
+    reusing the screening phase's syndrome table when provided."""
     n = config.final_length
     hd = hamming_distance(
         g,
@@ -153,6 +240,7 @@ def _evaluate_candidate(g: int, config: SearchConfig) -> PolyRecord:
         exploit_parity=False,  # validation stance: measure, don't assume
         mem_elems=config.mem_elems,
         stream_elems=config.stream_elems,
+        syn=syn,
     )
     weights = None
     if config.confirm_weights:
@@ -169,6 +257,40 @@ def _evaluate_candidate(g: int, config: SearchConfig) -> PolyRecord:
     )
 
 
+def screen_chunk(
+    config: SearchConfig,
+    start_index: int,
+    end_index: int,
+    *,
+    events: NullEventLog = NULL_EVENTS,
+) -> ScreenResult:
+    """Run the filter cascade (no survivor confirmation) over a dense
+    index range, dispatching to the configured backend.
+
+    The batched backend screens ``config.batch_size`` candidates per
+    block of numpy ops (:mod:`repro.search.batched`); the scalar
+    backend -- also the fallback above ``BATCHED_MAX_WIDTH`` -- walks
+    candidates one at a time and serves as the differential oracle.
+    """
+    if config.backend == "batched" and config.width <= BATCHED_MAX_WIDTH:
+        from repro.search.batched import screen_chunk_batched
+
+        return screen_chunk_batched(config, start_index, end_index, events=events)
+    result = ScreenResult(config=config)
+    for g in canonical_candidates(config.width, start_index, end_index):
+        slot = len(result.records)
+        record, syn = _screen_candidate(g, config)
+        result.records.append(record)
+        result.examined += 1
+        if record is None:
+            result.survivors.append((slot, g, syn))
+        elif record.filtered_at_bits is not None:
+            result.stage_kills[record.filtered_at_bits] = (
+                result.stage_kills.get(record.filtered_at_bits, 0) + 1
+            )
+    return result
+
+
 def search_chunk(
     config: SearchConfig,
     start_index: int,
@@ -179,23 +301,28 @@ def search_chunk(
     """Evaluate the canonical candidates whose dense index falls in
     ``[start_index, end_index)`` -- the unit of distributed work.
 
+    Two phases: *screening* (backend-dispatched, see
+    :func:`screen_chunk`) kills the overwhelming majority cheaply;
+    *confirmation* computes exact HD for the survivors.
+
     Observability (all off by default, see :mod:`repro.obs`): the
     chunk outcome -- candidates examined, filter-pass survivors, and
     kills per cascade length -- goes to ``events`` as one
     ``search.chunk.done`` record and to the process-local metrics
-    registry.  Instrumentation stays at chunk granularity so the
-    per-candidate hot loop is untouched.
+    registry; the batched backend additionally emits one
+    ``search.batch.done`` record per block.  Instrumentation stays at
+    chunk/batch granularity so the per-candidate hot loop is untouched.
     """
     t0 = time.perf_counter()
+    screen = screen_chunk(config, start_index, end_index, events=events)
     result = SearchResult(config=config)
-    for g in canonical_candidates(config.width, start_index, end_index):
-        record = _evaluate_candidate(g, config)
-        result.records.append(record)
-        result.examined += 1
-        if not record.survived and record.filtered_at_bits is not None:
-            result.stage_kills[record.filtered_at_bits] = (
-                result.stage_kills.get(record.filtered_at_bits, 0) + 1
-            )
+    result.examined = screen.examined
+    result.stage_kills = dict(screen.stage_kills)
+    records = list(screen.records)
+    for slot, g, syn in screen.survivors:
+        records[slot] = confirm_survivor(g, config, syn=syn)
+    assert all(rec is not None for rec in records)
+    result.records = records  # type: ignore[assignment]
     result.elapsed_seconds = time.perf_counter() - t0
     metrics = obs_metrics.active()
     if metrics.enabled:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.gf2.poly import reciprocal
 
 
@@ -77,6 +79,45 @@ def canonical_candidates(
         p = index_to_poly(index, width)
         if is_canonical(p):
             yield p
+
+
+#: Bit-reversal of each byte value, for the vectorized reciprocal.
+_REV8 = np.array(
+    [int(f"{b:08b}"[::-1], 2) for b in range(256)], dtype=np.uint64
+)
+
+
+def index_range_polys(
+    width: int, start_index: int, end_index: int
+) -> np.ndarray:
+    """The dense index range ``[start_index, end_index)`` as a uint64
+    array of full polynomial encodings -- :func:`index_to_poly`
+    vectorized (requires ``width <= 63`` so encodings fit uint64)."""
+    if not 0 <= start_index <= end_index <= (1 << (width - 1)):
+        raise ValueError(
+            f"index range [{start_index}, {end_index}) out of bounds "
+            f"for width {width}"
+        )
+    idx = np.arange(start_index, end_index, dtype=np.uint64)
+    return (idx << np.uint64(1)) | np.uint64((1 << width) | 1)
+
+
+def canonical_mask(width: int, polys: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`is_canonical` over an array of width-``width``
+    candidate encodings: True where the polynomial is its reciprocal
+    pair's representative.
+
+    The reciprocal of a degree-``width`` candidate is its bit-reversal
+    over ``width + 1`` bits (both end bits are set, so the bit length
+    is fixed); a byte-table compose reverses the whole batch without a
+    Python-level loop.
+    """
+    rev = np.zeros_like(polys)
+    for byte in range((width + 8) // 8 + 1):
+        chunk = (polys >> np.uint64(8 * byte)) & np.uint64(0xFF)
+        rev |= _REV8[chunk.astype(np.intp)] << np.uint64(56 - 8 * byte)
+    rev >>= np.uint64(64 - (width + 1))
+    return polys <= rev
 
 
 def candidate_count(width: int) -> dict[str, int]:

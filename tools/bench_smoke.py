@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Tiny-scale smoke benchmark: batched screening vs the scalar oracle.
+
+The CI-sized sibling of ``benchmarks/bench_batched_search.py``: run
+both screening backends over a small full canonical space, assert the
+results are identical record for record, and print the timings.  This
+is a correctness gate first (`make bench-smoke`, wired into CI
+alongside tier-1) and a smoke-level perf signal second -- no speedup
+floor is asserted at this scale, where fixed per-batch overheads and
+CI machine noise dominate; the committed ≥10x trajectory point comes
+from the full-scale benchmark (``BENCH_batched_search.json``).
+
+Exit status 0 iff both backends tell exactly the same story.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import replace
+
+from repro.search.exhaustive import SearchConfig, expected_examined, screen_chunk
+
+WIDTH = 10
+CFG = SearchConfig.for_bits(WIDTH, 4, 120)
+
+
+def main() -> int:
+    end = 1 << (WIDTH - 1)
+    elapsed = {}
+    results = {}
+    for backend in ("batched", "scalar"):
+        t0 = time.perf_counter()
+        results[backend] = screen_chunk(replace(CFG, backend=backend), 0, end)
+        elapsed[backend] = time.perf_counter() - t0
+
+    batched, scalar = results["batched"], results["scalar"]
+    checks = [
+        ("examined", batched.examined, scalar.examined),
+        ("examined vs space", batched.examined, expected_examined(WIDTH)),
+        ("stage_kills", batched.stage_kills, scalar.stage_kills),
+        ("records", batched.records, scalar.records),
+        (
+            "survivors",
+            [s[:2] for s in batched.survivors],
+            [s[:2] for s in scalar.survivors],
+        ),
+    ]
+    failed = [name for name, got, want in checks if got != want]
+    for backend in ("batched", "scalar"):
+        rate = batched.examined / elapsed[backend]
+        print(
+            f"{backend:8s} {elapsed[backend] * 1e3:8.2f} ms  "
+            f"{rate:10.0f} candidates/s"
+        )
+    print(
+        f"width {WIDTH}, {batched.examined} candidates, "
+        f"{len(batched.survivors)} survivors, "
+        f"speedup {elapsed['scalar'] / elapsed['batched']:.1f}x (smoke only)"
+    )
+    if failed:
+        print(f"MISMATCH between backends: {', '.join(failed)}")
+        return 1
+    print("backends identical: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
