@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-all verify docs-check bench bench-smoke bench-full repro examples clean
+.PHONY: install test test-all verify docs-check chaos-smoke bench bench-smoke bench-full repro examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,7 +19,7 @@ test-all:
 # executes every fenced python block in README.md and docs/*.md.
 verify:
 	PYTHONPATH=src $(PY) -m pytest -x -q tests/
-	rm -f /tmp/repro-smoke-campaign.json
+	rm -f /tmp/repro-smoke-campaign.json /tmp/repro-smoke-campaign.json.prev
 	PYTHONPATH=src $(PY) -m repro campaign --width 8 --target-hd 4 \
 	    --bits 100 --parallel 2 --chunk-size 8 \
 	    --checkpoint /tmp/repro-smoke-campaign.json
@@ -27,11 +27,18 @@ verify:
 	    --bits 100 --parallel 2 --chunk-size 8 \
 	    --checkpoint /tmp/repro-smoke-campaign.json --resume \
 	    | grep -q "0 chunks computed"
-	rm -f /tmp/repro-smoke-campaign.json
+	rm -f /tmp/repro-smoke-campaign.json /tmp/repro-smoke-campaign.json.prev
 	$(PY) tools/check_docs.py
 
 docs-check:
 	$(PY) tools/check_docs.py
+
+# The survival-kit gauntlet (~1s of campaign work, seeded): worker
+# crashes + a hard kill + a SIGTERM drain + a corrupted checkpoint +
+# resume must still produce a record bit-identical to a fault-free
+# run, and a poison chunk must end quarantined.  docs/RESILIENCE.md.
+chaos-smoke:
+	$(PY) tools/chaos_campaign.py --seed 2002
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

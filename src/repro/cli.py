@@ -192,8 +192,19 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Campaign exit codes beyond the usual 0 (success) / 2 (usage or
+#: incompatible checkpoint): distinct values so wrapper scripts can
+#: tell "some chunks were quarantined" from "interrupted, resume me".
+EXIT_QUARANTINE = 3
+EXIT_INTERRUPTED = 4
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.dist.checkpoint import CheckpointMismatch
+    from repro.dist.checkpoint import (
+        CheckpointCorrupt,
+        CheckpointMismatch,
+        CheckpointMissing,
+    )
 
     cfg = SearchConfig.for_bits(args.width, args.target_hd, args.bits)
     if args.resume and not args.checkpoint:
@@ -206,9 +217,43 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         if args.parallel:
             return _run_parallel_campaign(args, cfg)
         return _run_simulated_campaign(args, cfg)
+    except CheckpointMissing as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    except CheckpointCorrupt as exc:
+        print(
+            f"cannot resume: {exc}\n"
+            "every checkpoint generation failed verification; start a "
+            "fresh run (without --resume) to recompute",
+            file=sys.stderr,
+        )
+        return 2
     except CheckpointMismatch as exc:
         print(str(exc), file=sys.stderr)
         return 2
+
+
+def _finish_campaign(quarantined_ids: list[int], interrupted: str | None) -> int:
+    """Map end-of-campaign state to the process exit code, printing
+    the operator-facing explanation."""
+    if interrupted is not None:
+        print(
+            f"campaign interrupted by {interrupted}; progress checkpointed "
+            "-- rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    if quarantined_ids:
+        ids = ", ".join(map(str, quarantined_ids))
+        print(
+            f"campaign finished with {len(quarantined_ids)} chunk(s) "
+            f"quarantined after exhausting their retry budget: [{ids}]\n"
+            "their candidates were NOT searched; rerun with "
+            "--retry-quarantined to grant them a fresh budget",
+            file=sys.stderr,
+        )
+        return EXIT_QUARANTINE
+    return 0
 
 
 def _run_parallel_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
@@ -224,9 +269,11 @@ def _run_parallel_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
             log=print,
             events=events,
             collect_metrics=args.metrics,
+            max_attempts=args.max_attempts,
+            drain_grace=args.drain_grace,
         )
-        if args.resume and os.path.exists(args.checkpoint):
-            skipped = runner.resume()
+        if args.resume:
+            skipped = runner.resume(retry_quarantined=args.retry_quarantined)
             print(f"resumed from {args.checkpoint}: {skipped} chunks skipped")
         elapsed = runner.run()
     print(runner.queue.progress())
@@ -240,7 +287,7 @@ def _run_parallel_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
     if args.metrics:
         print("worker metrics (merged):")
         print(runner.metrics.render())
-    return 0
+    return _finish_campaign(runner.queue.quarantined_ids, runner.interrupted)
 
 
 def _run_simulated_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
@@ -256,7 +303,7 @@ def _run_simulated_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
             coord = Coordinator(
                 config=cfg, chunk_size=args.chunk_size, events=events
             )
-            if args.resume and os.path.exists(args.checkpoint):
+            if args.resume:
                 skipped = coord.load_checkpoint(args.checkpoint)
                 print(f"resumed from {args.checkpoint}: {skipped} chunks skipped")
             workers = [ChunkWorker(f"w{i}", cfg) for i in range(args.workers)]
@@ -275,7 +322,7 @@ def _run_simulated_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
     if registry is not None:
         print("metrics:")
         print(registry.render())
-    return 0
+    return _finish_campaign(coord.queue.quarantined_ids, None)
 
 
 def cmd_crc(args: argparse.Namespace) -> int:
@@ -420,9 +467,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "under --parallel, at the end otherwise)")
     p.add_argument("--resume", action="store_true",
                    help="load --checkpoint first and skip its "
-                        "completed chunks")
+                        "completed chunks (falls back to the rotated "
+                        ".prev generation if the file is corrupt)")
     p.add_argument("--progress-interval", type=float, default=5.0,
                    help="seconds between progress summary lines "
+                        "(--parallel only)")
+    p.add_argument("--max-attempts", type=int, default=5,
+                   help="retry budget per chunk before it is "
+                        "quarantined (--parallel only; 0 = retry "
+                        "forever, the pre-quarantine behaviour)")
+    p.add_argument("--retry-quarantined", action="store_true",
+                   help="on --resume, grant checkpointed quarantined "
+                        "chunks a fresh retry budget instead of "
+                        "keeping them benched (--parallel only)")
+    p.add_argument("--drain-grace", type=float, default=5.0,
+                   help="seconds a SIGTERM/SIGINT drain waits for "
+                        "in-flight chunks before forfeiting them "
                         "(--parallel only)")
     p.set_defaults(fn=cmd_campaign)
 

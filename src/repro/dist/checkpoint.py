@@ -1,30 +1,65 @@
-"""Campaign checkpoint format with compatibility guarding.
+"""Campaign checkpoint format: compatibility-guarded and self-checksummed.
 
 A checkpoint written months into a campaign is only useful if it can
-never be silently merged into the *wrong* campaign: the seed format
-stored the bare :class:`~repro.search.records.CampaignRecord`, so
-loading a width-8/chunk-8 checkpoint into a width-9/chunk-64
-coordinator "succeeded" with zero chunks skipped.  Format 2 wraps the
-record in an envelope that pins the search identity -- ``width``,
-``target_hd``, ``final_length`` and the partition ``chunk_size`` --
-and :func:`load` raises :class:`CheckpointMismatch` on any deviation.
+never be silently merged into the *wrong* campaign, and never trusted
+when the bytes on disk are not the bytes that were written.  The
+format has grown accordingly:
 
-Legacy (format-1) files are still readable: the record itself carries
-``width``/``target_hd``/``data_word_bits``, which are validated; the
-chunk size is not recorded there, so a mismatched partition is caught
-later by the out-of-range chunk-id guard in the loaders.
+* **Format 1** (seed): the bare
+  :class:`~repro.search.records.CampaignRecord` JSON.  Still
+  readable; the record's own ``width``/``target_hd``/
+  ``data_word_bits`` are validated on load.
+* **Format 2** (PR 1): an envelope pinning the search identity --
+  ``width``, ``target_hd``, ``final_length`` and the partition
+  ``chunk_size`` -- with :class:`CheckpointMismatch` raised on any
+  deviation.  Still readable.
+* **Format 3** (this module's writer): the format-2 envelope plus
+
+  - a **CRC-32 self-checksum** over the canonical payload bytes,
+    computed with the repository's own CRC engine (eating our own
+    cooking: the paper's subject matter guarding the campaign's own
+    state).  A torn write, a flipped bit, or a truncated file fails
+    verification and raises :class:`CheckpointCorrupt` instead of
+    feeding garbage into a resume;
+  - a ``quarantined`` list recording poison chunks whose retry budget
+    was exhausted, so a resumed campaign does not re-run them;
+  - **durable publication**: the temp file is fsynced before the
+    atomic rename and the directory is fsynced after it, so a
+    power-loss-shaped kill cannot publish a torn file;
+  - a **rotated previous generation** (``<path>.prev``): each save
+    first promotes the current (verified-good) file to ``.prev``,
+    and :func:`load` falls back to it when the current generation is
+    corrupt or missing.
+
+:func:`load` returns a :class:`LoadedCheckpoint` carrying the
+campaign, the quarantine set, and whether the fallback generation had
+to be used (the caller emits the ``checkpoint.corrupt`` event).  A
+missing checkpoint (no current, no previous) raises
+:class:`CheckpointMissing` with an actionable message instead of a
+bare ``FileNotFoundError``.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Iterable
 
+from repro.crc.catalog import CATALOG
+from repro.crc.engine import crc_slice4
 from repro.search.exhaustive import SearchConfig
 from repro.search.records import CampaignRecord
 
-FORMAT = "repro-campaign-checkpoint/2"
+#: Format tag this module writes.
+FORMAT = "repro-campaign-checkpoint/3"
+#: The PR-1 envelope tag (still readable).
+FORMAT_2 = "repro-campaign-checkpoint/2"
+
+#: The self-checksum algorithm: CRC-32C (Castagnoli), the polynomial
+#: the paper's lineage put into iSCSI for exactly this at-rest-data
+#: integrity job, computed by our own slice-by-4 engine.
+CRC_SPEC = CATALOG["CRC-32C/Castagnoli"]
 
 
 class CheckpointMismatch(ValueError):
@@ -32,11 +67,83 @@ class CheckpointMismatch(ValueError):
     trying to load it."""
 
 
+class CheckpointCorrupt(ValueError):
+    """The checkpoint's bytes are torn, truncated, or fail the CRC-32
+    self-checksum -- the file cannot be trusted."""
+
+
+class CheckpointMissing(FileNotFoundError):
+    """No checkpoint exists at the given path (nor a rotated previous
+    generation next to it)."""
+
+
+def previous_path(path: str) -> str:
+    """Where the rotated previous generation of ``path`` lives."""
+    return path + ".prev"
+
+
+# -- canonical bytes & CRC ---------------------------------------------
+
+
+def canonical_payload_bytes(doc: dict[str, Any]) -> bytes:
+    """The byte string the self-checksum covers: the document minus
+    its ``crc32`` field, serialized canonically (sorted keys, no
+    whitespace, UTF-8)."""
+    body = {k: v for k, v in doc.items() if k != "crc32"}
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def payload_crc(doc: dict[str, Any]) -> int:
+    """CRC-32C of :func:`canonical_payload_bytes`."""
+    return crc_slice4(CRC_SPEC, canonical_payload_bytes(doc))
+
+
+# -- save --------------------------------------------------------------
+
+
+def _fsync_dir(directory: str) -> None:
+    """Force the rename itself to stable storage (POSIX: directory
+    entries are durable only once the directory is fsynced)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds; best effort
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def verify_file(path: str) -> bool:
+    """True iff ``path`` holds a structurally sound checkpoint (any
+    format; format 3 must also pass its CRC).  Used to decide whether
+    the current generation deserves promotion to ``.prev``."""
+    try:
+        _read_document(path)
+    except (OSError, CheckpointCorrupt):
+        return False
+    return True
+
+
 def save(
-    path: str, campaign: CampaignRecord, config: SearchConfig, chunk_size: int
+    path: str,
+    campaign: CampaignRecord,
+    config: SearchConfig,
+    chunk_size: int,
+    quarantined: Iterable[int] = (),
 ) -> None:
-    """Atomically persist the campaign record plus its identity."""
-    payload = {
+    """Durably persist the campaign record plus its identity.
+
+    Write path: temp file -> flush -> fsync -> promote the existing
+    (verified-good) current file to ``.prev`` -> atomic rename ->
+    directory fsync.  At every instant there is at least one intact
+    generation on disk.
+    """
+    doc: dict[str, Any] = {
         "format": FORMAT,
         "config": {
             "width": config.width,
@@ -45,26 +152,98 @@ def save(
             "chunk_size": chunk_size,
         },
         "campaign": campaign.to_json_dict(),
+        "quarantined": sorted(set(quarantined)),
     }
+    doc["crc32"] = f"{payload_crc(doc):#010x}"
     tmp = path + ".tmp"
-    with open(tmp, "w") as f:
-        json.dump(payload, f, indent=1)
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1)
+        f.flush()
+        os.fsync(f.fileno())
+    # Rotate only a generation that still verifies: promoting silent
+    # bit rot into .prev would poison the fallback.
+    if os.path.exists(path) and verify_file(path):
+        os.replace(path, previous_path(path))
     os.replace(tmp, path)
+    _fsync_dir(os.path.dirname(os.path.abspath(path)))
 
 
-def _check(field: str, found: Any, expected: Any, path: str) -> None:
+# -- load --------------------------------------------------------------
+
+
+@dataclass
+class LoadedCheckpoint:
+    """What :func:`load` hands back to the coordinator."""
+
+    campaign: CampaignRecord
+    quarantined: set[int] = field(default_factory=set)
+    #: Path actually read (``path`` or ``path + ".prev"``).
+    source: str = ""
+    #: True when the current generation was corrupt/missing and the
+    #: rotated previous generation was used instead.
+    fell_back: bool = False
+    #: Human-readable reason the current generation was rejected.
+    corrupt_error: str | None = None
+    #: 1, 2 or 3.
+    format_version: int = 3
+
+
+def _check(field_name: str, found: Any, expected: Any, path: str) -> None:
     if found != expected:
         raise CheckpointMismatch(
             f"checkpoint {path} is from a different campaign: "
-            f"{field}={found!r} but this campaign has {field}={expected!r}"
+            f"{field_name}={found!r} but this campaign has "
+            f"{field_name}={expected!r}"
         )
 
 
-def load(path: str, config: SearchConfig, chunk_size: int) -> CampaignRecord:
-    """Read a checkpoint, refusing one from an incompatible campaign."""
-    with open(path) as f:
-        d = json.load(f)
-    if isinstance(d, dict) and "campaign" in d:
+def _read_document(path: str) -> dict[str, Any]:
+    """Parse and (for format 3) CRC-verify one checkpoint file.
+    Raises :class:`CheckpointCorrupt` on torn/garbled bytes and
+    returns the parsed document otherwise."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    try:
+        d = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointCorrupt(
+            f"checkpoint {path} is not readable JSON (torn write or "
+            f"corruption): {exc}"
+        ) from None
+    if not isinstance(d, dict):
+        raise CheckpointCorrupt(f"checkpoint {path}: not a JSON object")
+    if d.get("format") == FORMAT or "crc32" in d:
+        stored = d.get("crc32")
+        if not isinstance(stored, str):
+            raise CheckpointCorrupt(
+                f"checkpoint {path}: format-3 file missing its crc32 field"
+            )
+        try:
+            stored_value = int(stored, 16)
+        except ValueError:
+            raise CheckpointCorrupt(
+                f"checkpoint {path}: unparseable crc32 field {stored!r}"
+            ) from None
+        computed = payload_crc(d)
+        if stored_value != computed:
+            raise CheckpointCorrupt(
+                f"checkpoint {path} failed its CRC-32 self-check "
+                f"(stored {stored}, computed {computed:#010x}): the file "
+                "was corrupted after it was written"
+            )
+    return d
+
+
+def _load_file(
+    path: str, config: SearchConfig, chunk_size: int
+) -> tuple[CampaignRecord, set[int], int]:
+    """Load one generation; raises ``FileNotFoundError``,
+    :class:`CheckpointCorrupt` or :class:`CheckpointMismatch`."""
+    d = _read_document(path)
+    quarantined: set[int] = set()
+    if isinstance(d.get("campaign"), dict):
+        # Formats 2 and 3 share the identity envelope.
+        version = 3 if "crc32" in d else 2
         meta = d.get("config", {})
         _check("width", meta.get("width"), config.width, path)
         _check("target_hd", meta.get("target_hd"), config.target_hd, path)
@@ -72,11 +251,81 @@ def load(path: str, config: SearchConfig, chunk_size: int) -> CampaignRecord:
             "final_length", meta.get("final_length"), config.final_length, path
         )
         _check("chunk_size", meta.get("chunk_size"), chunk_size, path)
-        campaign = CampaignRecord.from_json_dict(d["campaign"])
+        try:
+            campaign = CampaignRecord.from_json_dict(d["campaign"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointCorrupt(
+                f"checkpoint {path}: campaign payload unreadable: {exc}"
+            ) from None
+        quarantined = {int(c) for c in d.get("quarantined", [])}
     else:
         # Format 1: a bare CampaignRecord; validate what it carries.
-        campaign = CampaignRecord.from_json_dict(d)
+        version = 1
+        try:
+            campaign = CampaignRecord.from_json_dict(d)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointCorrupt(
+                f"checkpoint {path}: campaign payload unreadable: {exc}"
+            ) from None
     _check("width", campaign.width, config.width, path)
     _check("target_hd", campaign.target_hd, config.target_hd, path)
     _check("final_length", campaign.data_word_bits, config.final_length, path)
-    return campaign
+    return campaign, quarantined, version
+
+
+def load(
+    path: str, config: SearchConfig, chunk_size: int
+) -> LoadedCheckpoint:
+    """Read a checkpoint, refusing one from an incompatible campaign
+    and falling back to the rotated previous generation when the
+    current one is corrupt or missing.
+
+    Raises :class:`CheckpointMissing` when neither generation exists,
+    :class:`CheckpointCorrupt` when every existing generation fails
+    verification, and :class:`CheckpointMismatch` on a (well-formed)
+    foreign checkpoint -- a mismatch never triggers fallback, because
+    the previous generation of a foreign campaign is just as foreign.
+    """
+    prev = previous_path(path)
+    corrupt_error: str | None = None
+    try:
+        campaign, quarantined, version = _load_file(path, config, chunk_size)
+        return LoadedCheckpoint(
+            campaign=campaign,
+            quarantined=quarantined,
+            source=path,
+            format_version=version,
+        )
+    except FileNotFoundError:
+        if not os.path.exists(prev):
+            raise CheckpointMissing(
+                f"no checkpoint found at {path} "
+                "(use a fresh run or check --checkpoint)"
+            ) from None
+        corrupt_error = f"checkpoint {path} is missing"
+    except CheckpointCorrupt as exc:
+        corrupt_error = str(exc)
+        if not os.path.exists(prev):
+            raise CheckpointCorrupt(
+                f"{corrupt_error}; no previous generation at {prev} "
+                "to fall back to"
+            ) from None
+    try:
+        campaign, quarantined, version = _load_file(prev, config, chunk_size)
+    except FileNotFoundError:
+        raise CheckpointCorrupt(
+            f"{corrupt_error}; previous generation {prev} vanished"
+        ) from None
+    except CheckpointCorrupt as exc:
+        raise CheckpointCorrupt(
+            f"both checkpoint generations are unreadable: "
+            f"{corrupt_error}; {exc}"
+        ) from None
+    return LoadedCheckpoint(
+        campaign=campaign,
+        quarantined=quarantined,
+        source=prev,
+        fell_back=True,
+        corrupt_error=corrupt_error,
+        format_version=version,
+    )

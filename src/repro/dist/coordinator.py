@@ -39,24 +39,40 @@ class Coordinator:
     chunk_size: int
     lease_duration: float = 600.0
     events: NullEventLog = NULL_EVENTS
+    #: Retry budget per chunk; 0 (the default, matching the seed
+    #: behaviour) retries forever, a positive value quarantines a
+    #: chunk whose budget is spent instead of re-leasing it.
+    max_attempts: int = 0
     queue: TaskQueue = field(init=False)
     campaign: CampaignRecord = field(init=False)
     duplicate_deliveries: int = 0
     reassignments: int = 0
+    quarantined: int = 0
 
     def __post_init__(self) -> None:
         tasks = partition_space(self.config.width, self.chunk_size)
-        self.queue = TaskQueue(tasks, lease_duration=self.lease_duration)
+        self.queue = TaskQueue(
+            tasks,
+            lease_duration=self.lease_duration,
+            max_attempts=self.max_attempts,
+        )
         self.queue.on_expire = lambda task, now: self.events.emit(
             "lease.expire",
             chunk=task.chunk_id,
             owner=task.owner,
             attempt=task.attempts,
         )
+        self.queue.on_quarantine = self._on_quarantine
         self.campaign = CampaignRecord(
             width=self.config.width,
             data_word_bits=self.config.final_length,
             target_hd=self.config.target_hd,
+        )
+
+    def _on_quarantine(self, task: SearchTask, now: float) -> None:
+        self.quarantined += 1
+        self.events.emit(
+            "chunk.quarantine", chunk=task.chunk_id, attempts=task.attempts
         )
 
     def deliver(self, task: SearchTask, result: SearchResult, worker_id: str) -> None:
@@ -99,7 +115,7 @@ class Coordinator:
             chunks=len(self.queue),
             workers=len(workers),
         )
-        while not self.queue.all_done:
+        while not self.queue.finished:
             live = [w for w in workers if w.alive]
             if not live:
                 raise RuntimeError(
@@ -138,32 +154,55 @@ class Coordinator:
             completions=len(self.campaign.chunks_done),
             examined=self.campaign.candidates_examined,
             survivors=len(self.campaign.survivors),
+            quarantined=self.queue.quarantined,
         )
         return now
 
     # -- checkpointing -------------------------------------------------
 
     def save_checkpoint(self, path: str) -> None:
-        """Atomically persist the campaign record plus the campaign
-        identity (width/target_hd/final_length/chunk_size)."""
-        checkpoint_io.save(path, self.campaign, self.config, self.chunk_size)
+        """Durably persist the campaign record plus the campaign
+        identity (width/target_hd/final_length/chunk_size) and the
+        quarantine set, in the CRC-self-checksummed format 3."""
+        checkpoint_io.save(
+            path,
+            self.campaign,
+            self.config,
+            self.chunk_size,
+            self.queue.quarantined_ids,
+        )
         self.events.emit(
             "checkpoint.write",
             path=path,
             chunks_done=len(self.campaign.chunks_done),
+            quarantined=self.queue.quarantined,
         )
 
     def load_checkpoint(self, path: str) -> int:
         """Restore a campaign record; marks its completed chunks done
-        in the queue.  Returns the number of chunks skipped.  Raises
-        :class:`CheckpointMismatch` if the checkpoint was written by a
-        campaign with a different width, target HD, final length or
-        chunk size."""
-        campaign = checkpoint_io.load(path, self.config, self.chunk_size)
-        foreign = [c for c in campaign.chunks_done if c not in self.queue]
+        (and its quarantined chunks quarantined) in the queue.
+        Returns the number of chunks skipped.  Falls back to the
+        rotated ``.prev`` generation when the current file is corrupt.
+        Raises :class:`CheckpointMismatch` if the checkpoint was
+        written by a campaign with a different width, target HD, final
+        length or chunk size."""
+        loaded = checkpoint_io.load(path, self.config, self.chunk_size)
+        if loaded.fell_back:
+            self.events.emit(
+                "checkpoint.corrupt",
+                path=path,
+                fallback=loaded.source,
+                error=str(loaded.corrupt_error),
+            )
+        campaign = loaded.campaign
+        foreign = [
+            c
+            for c in sorted(campaign.chunks_done | loaded.quarantined)
+            if c not in self.queue
+        ]
         if foreign:
             raise CheckpointMismatch(
-                f"checkpoint {path} references chunks {sorted(foreign)}, "
+                f"checkpoint {loaded.source} references chunks {foreign}, "
                 f"outside this campaign's {len(self.queue)}-chunk partition "
                 "(chunk_size mismatch?)"
             )
@@ -171,6 +210,19 @@ class Coordinator:
         for chunk_id in campaign.chunks_done:
             if self.queue.complete(chunk_id, "checkpoint", 0.0):
                 skipped += 1
+        restored = 0
+        for chunk_id in sorted(loaded.quarantined):
+            if self.queue.mark_quarantined(chunk_id):
+                restored += 1
+                self.quarantined += 1
+                self.events.emit(
+                    "chunk.quarantine", chunk=chunk_id, attempts=0, restored=True
+                )
         self.campaign = campaign
-        self.events.emit("campaign.resume", path=path, skipped=skipped)
+        self.events.emit(
+            "campaign.resume",
+            path=loaded.source,
+            skipped=skipped,
+            quarantined=restored,
+        )
         return skipped

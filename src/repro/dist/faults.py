@@ -3,11 +3,16 @@
 Idle-workstation computing's failure modes, as the 2001 campaign will
 have seen them: a machine's owner comes back and the worker dies
 mid-chunk; a worker finishes a chunk but its completion message is
-duplicated on retry; a slow machine holds a lease so long it expires.
+duplicated on retry; a slow machine holds a lease so long it expires;
+a flaky disk flips bits in the checkpoint; the cluster operator sends
+the coordinator SIGTERM at 2 a.m.
 
 :class:`FaultPlan` scripts these deterministically (seeded) so the
-test suite can assert the exact recovery behaviour: every chunk ends
-DONE exactly once in the campaign record, regardless of the plan.
+test suite and the chaos harness (``tools/chaos_campaign.py``) can
+assert the exact recovery behaviour: every chunk ends DONE exactly
+once in the campaign record, regardless of the plan -- or, for a
+*poison* chunk that crashes its worker on every attempt, ends
+QUARANTINED after its retry budget instead of wedging the pool.
 """
 
 from __future__ import annotations
@@ -25,14 +30,19 @@ from dataclasses import dataclass, field
 #: ``duplicate_completions[POOL_CRASH] = chunk_id`` delivers that
 #: chunk's completion twice.  ``straggle[POOL_CRASH] = f`` makes every
 #: chunk sleep ``f - 1`` seconds before computing (lease pressure).
+#: The set-valued fields (``crash_chunks``/``kill_chunks``/
+#: ``poison_chunks``) are the multi-fault generalization the chaos
+#: harness uses.
 POOL_CRASH = "pool"
 POOL_KILL = "pool-kill"
 
 
 @dataclass
 class FaultPlan:
-    """Scripted faults, keyed by (worker_id, how many chunks that
-    worker has started).
+    """Scripted faults.
+
+    Simulated-backend fields (keyed by worker_id and how many chunks
+    that worker has started):
 
     ``crash_points[w] = k`` -- worker ``w`` dies while executing its
     k-th chunk (0-based): the chunk's result is lost, the lease must
@@ -43,11 +53,39 @@ class FaultPlan:
 
     ``straggle[w] = factor`` -- worker ``w`` takes ``factor`` times
     the nominal duration per chunk (lease-expiry pressure).
+
+    Pool-backend fields (keyed by chunk id):
+
+    ``crash_chunks`` -- chunks whose first attempt raises
+    :class:`WorkerCrashed` in the subprocess.
+
+    ``kill_chunks`` -- chunks whose first attempt hard-kills the
+    subprocess (``os._exit``), breaking the whole executor.
+
+    ``poison_chunks`` -- chunks that crash their worker on *every*
+    attempt: the retry budget must quarantine them.
+
+    Coordinator-side chaos:
+
+    ``corrupt_checkpoint_after = n`` -- silently scribble over the
+    checkpoint file right after its n-th write (1-based), modelling
+    bit rot the CRC self-check must catch on resume.
+
+    ``kill_signal_after = n`` -- deliver SIGTERM to the coordinator
+    process after its n-th chunk completion, exercising the graceful
+    drain + final checkpoint path.
     """
 
     crash_points: dict[str, int] = field(default_factory=dict)
     duplicate_completions: dict[str, int] = field(default_factory=dict)
     straggle: dict[str, float] = field(default_factory=dict)
+    crash_chunks: set[int] = field(default_factory=set)
+    kill_chunks: set[int] = field(default_factory=set)
+    poison_chunks: set[int] = field(default_factory=set)
+    corrupt_checkpoint_after: int | None = None
+    kill_signal_after: int | None = None
+
+    # -- simulated-backend queries (legacy conventions) ----------------
 
     def crashes_on(self, worker_id: str, chunk_number: int) -> bool:
         return self.crash_points.get(worker_id) == chunk_number
@@ -58,6 +96,30 @@ class FaultPlan:
     def slowdown(self, worker_id: str) -> float:
         return self.straggle.get(worker_id, 1.0)
 
+    # -- pool-backend queries ------------------------------------------
+
+    def pool_crashes(self, chunk_id: int, attempt: int) -> bool:
+        """Should this attempt raise :class:`WorkerCrashed`?"""
+        if chunk_id in self.poison_chunks:
+            return True
+        if attempt != 1:
+            return False  # the retry models a healthy machine
+        return (
+            chunk_id in self.crash_chunks
+            or self.crash_points.get(POOL_CRASH) == chunk_id
+        )
+
+    def pool_kills(self, chunk_id: int, attempt: int) -> bool:
+        """Should this attempt hard-kill its subprocess?"""
+        if attempt != 1:
+            return False
+        return (
+            chunk_id in self.kill_chunks
+            or self.crash_points.get(POOL_KILL) == chunk_id
+        )
+
+    # -- seeded generators ---------------------------------------------
+
     @classmethod
     def random_plan(
         cls,
@@ -67,7 +129,9 @@ class FaultPlan:
         duplicate_fraction: float = 0.2,
         max_chunk: int = 4,
     ) -> "FaultPlan":
-        """A reproducible random plan for soak tests."""
+        """A reproducible random plan for simulated-backend soak
+        tests: the same ``(worker_ids, seed)`` always yields the same
+        plan (``tests/dist/test_faults.py`` pins this down)."""
         rng = random.Random(seed)
         plan = cls()
         for w in worker_ids:
@@ -78,6 +142,53 @@ class FaultPlan:
             if rng.random() < 0.25:
                 plan.straggle[w] = 1.0 + 3.0 * rng.random()
         return plan
+
+    @classmethod
+    def chaos_plan(
+        cls,
+        seed: int,
+        chunks: int,
+        *,
+        crash_fraction: float = 0.15,
+        kill_count: int = 1,
+        duplicate: bool = True,
+        kill_signal_after: int | None = None,
+        corrupt_checkpoint_after: int | None = None,
+    ) -> "FaultPlan":
+        """A reproducible pool-backend chaos schedule over a
+        ``chunks``-chunk partition: a fraction of chunks soft-crash
+        their first attempt, ``kill_count`` of the remainder hard-kill
+        their subprocess, optionally one completion is duplicated, and
+        the coordinator-side kill/corruption knobs pass through.
+        Deterministic in ``seed`` (property-tested)."""
+        rng = random.Random(seed)
+        plan = cls(
+            kill_signal_after=kill_signal_after,
+            corrupt_checkpoint_after=corrupt_checkpoint_after,
+        )
+        ids = list(range(chunks))
+        rng.shuffle(ids)
+        n_crash = max(1, int(chunks * crash_fraction)) if chunks else 0
+        plan.crash_chunks = set(ids[:n_crash])
+        plan.kill_chunks = set(ids[n_crash:n_crash + kill_count])
+        if duplicate and chunks:
+            plan.duplicate_completions[POOL_CRASH] = rng.randrange(chunks)
+        return plan
+
+
+def corrupt_file(path: str, seed: int = 0, flips: int | None = None) -> None:
+    """Deterministically flip bytes of ``path`` in place -- the chaos
+    harness's model of silent disk corruption.  No fsync, no rename:
+    precisely the kind of mutation the checkpoint CRC must catch."""
+    with open(path, "rb") as f:
+        data = bytearray(f.read())
+    if not data:
+        data = bytearray(b"\x00")
+    rng = random.Random(seed)
+    for _ in range(flips if flips is not None else max(1, len(data) // 64)):
+        data[rng.randrange(len(data))] ^= 0xFF
+    with open(path, "wb") as f:
+        f.write(data)
 
 
 class WorkerCrashed(RuntimeError):

@@ -17,24 +17,41 @@ already enforces, driven through the same objects:
   lease/complete protocol -- at-least-once execution with idempotent
   completion;
 * a crashed (``WorkerCrashed``) or hard-killed (``os._exit``)
-  subprocess simply never completes its chunk: the parent stops
-  renewing the lease, the lease expires on the real clock, and the
-  chunk is transparently re-leased to a healthy process.  A hard kill
-  additionally breaks the executor (CPython invalidates the whole
-  pool), which the runner rebuilds and carries on;
+  subprocess forfeits its chunk: the parent releases the lease the
+  moment the future fails (or lets it expire if the parent itself
+  died), and the chunk is re-leased after an exponential backoff with
+  deterministic jitter.  A chunk that burns through its whole
+  ``max_attempts`` budget -- a *poison* chunk that crashes every
+  worker it touches -- is quarantined instead of being re-leased
+  forever: the campaign still terminates, reports the quarantined
+  ids, and exits non-zero;
+* a hard kill additionally breaks the executor (CPython invalidates
+  the whole pool), which the runner rebuilds under its own bounded
+  exponential backoff, giving up only after ``max_rebuild_streak``
+  consecutive rebuilds with zero completed chunks in between;
+* SIGTERM/SIGINT trigger a graceful drain: stop leasing, give
+  in-flight futures ``drain_grace`` seconds to finish, deliver what
+  completed, forfeit the rest, write a final checkpoint, emit
+  ``shutdown.drain`` + ``campaign.interrupted``, and return -- so
+  ``--resume`` picks up with nothing lost;
 * results merge into the same idempotent
   :class:`~repro.search.records.CampaignRecord`, checkpointed every N
-  completions through :mod:`repro.dist.checkpoint` so a killed
-  campaign restarts with ``resume`` instead of recomputing;
+  completions through :mod:`repro.dist.checkpoint` (format 3: CRC-32
+  self-checksum, fsync'd atomic publication, rotated ``.prev``
+  generation) so a killed campaign restarts with ``resume`` instead of
+  recomputing -- even when the live checkpoint was corrupted on disk;
 * fault injection reuses :class:`~repro.dist.faults.FaultPlan` under
-  the pool conventions (``POOL_CRASH`` / ``POOL_KILL`` keyed by chunk
-  id), so the test suite scripts subprocess failure deterministically.
+  the pool conventions (chunk-id keyed crash/kill/poison sets, plus
+  coordinator-side checkpoint-corruption and kill-signal schedules),
+  so the test suite and ``tools/chaos_campaign.py`` script subprocess
+  failure deterministically.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal as signal_module
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -43,7 +60,7 @@ from typing import Callable
 
 from repro.dist import checkpoint as checkpoint_io
 from repro.dist.checkpoint import CheckpointMismatch
-from repro.dist.faults import POOL_CRASH, POOL_KILL, FaultPlan, WorkerCrashed
+from repro.dist.faults import FaultPlan, WorkerCrashed, corrupt_file
 from repro.dist.progress import ProgressTracker
 from repro.dist.queue import TaskQueue
 from repro.dist.tasks import SearchTask, partition_space
@@ -78,16 +95,17 @@ def _run_chunk(
     the result for the parent to merge -- per-process aggregation with
     merge-at-chunk-completion, costing the worker one dict per chunk.
 
-    Injected faults fire on the *first* attempt only: the reassigned
-    retry models a healthy machine picking up the forfeited chunk.
+    Injected crash/kill faults fire on the *first* attempt only (the
+    reassigned retry models a healthy machine picking up the forfeited
+    chunk) -- except for *poison* chunks, which crash every attempt
+    and must end up quarantined by the parent's retry budget.
     """
-    if faults is not None and attempt == 1:
-        if faults.crashes_on(POOL_KILL, chunk_id):
-            os._exit(1)  # hard kill: no exception, no cleanup, no nack
-        if faults.crashes_on(POOL_CRASH, chunk_id):
-            raise WorkerCrashed(f"injected crash on chunk {chunk_id}")
     if faults is not None:
-        slowdown = faults.slowdown(POOL_CRASH)
+        if faults.pool_kills(chunk_id, attempt):
+            os._exit(1)  # hard kill: no exception, no cleanup, no nack
+        if faults.pool_crashes(chunk_id, attempt):
+            raise WorkerCrashed(f"injected crash on chunk {chunk_id}")
+        slowdown = faults.slowdown("pool")
         if slowdown > 1.0:
             time.sleep(min(slowdown - 1.0, 5.0))
     if not collect_metrics:
@@ -113,6 +131,8 @@ class PoolStats:
     checkpoints_written: int = 0
     skipped_from_checkpoint: int = 0
     lease_expiries: int = 0
+    quarantined: int = 0
+    retry_backoffs: int = 0
 
 
 @dataclass
@@ -122,9 +142,11 @@ class ParallelCoordinator:
     The parent is the only lease holder (``PARENT_OWNER``): it leases a
     chunk when it submits the future, renews the lease while the future
     is running, and completes it on delivery.  A future that dies takes
-    its renewals with it, so the lease expires and the queue hands the
-    chunk to the next submission -- the same recovery path the 2001
-    campaign relied on, at subprocess granularity.
+    its renewals with it: the parent releases the lease immediately on
+    a failed future (and the wall clock expires it if the parent itself
+    is gone), so the chunk goes to the next submission -- the same
+    recovery path the 2001 campaign relied on, at subprocess
+    granularity, now with a bounded retry budget per chunk.
     """
 
     config: SearchConfig
@@ -139,18 +161,43 @@ class ParallelCoordinator:
     max_seconds: float | None = None
     events: NullEventLog = NULL_EVENTS
     collect_metrics: bool = False
+    #: Retry budget per chunk; 0 disables quarantine (unbounded).
+    max_attempts: int = 5
+    #: Base of the re-lease exponential backoff (seconds).
+    retry_backoff: float = 0.05
+    backoff_cap: float = 30.0
+    #: How long a drain waits for in-flight futures on SIGTERM/SIGINT.
+    drain_grace: float = 5.0
+    #: Base of the broken-pool rebuild backoff (seconds).
+    rebuild_backoff: float = 0.1
+    #: Consecutive rebuilds (no completion in between) before giving up.
+    max_rebuild_streak: int = 8
+    #: Install SIGTERM/SIGINT handlers for the duration of :meth:`run`
+    #: (auto-skipped off the main thread).
+    handle_signals: bool = True
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     queue: TaskQueue = field(init=False)
     campaign: CampaignRecord = field(init=False)
     tracker: ProgressTracker = field(init=False)
     stats: PoolStats = field(init=False, default_factory=PoolStats)
+    #: Signal name ("SIGTERM"/"SIGINT") when the last :meth:`run` was
+    #: interrupted and drained; None after a run that finished.
+    interrupted: str | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if self.processes < 1:
             raise ValueError("processes must be positive")
         tasks = partition_space(self.config.width, self.chunk_size)
-        self.queue = TaskQueue(tasks, lease_duration=self.lease_duration)
+        self.queue = TaskQueue(
+            tasks,
+            lease_duration=self.lease_duration,
+            max_attempts=self.max_attempts,
+            backoff_base=self.retry_backoff,
+            backoff_cap=self.backoff_cap,
+        )
         self.queue.on_expire = self._on_lease_expire
+        self.queue.on_quarantine = self._on_quarantine
+        self.queue.on_backoff = self._on_backoff
         self.campaign = CampaignRecord(
             width=self.config.width,
             data_word_bits=self.config.final_length,
@@ -158,10 +205,17 @@ class ParallelCoordinator:
         )
         self.tracker = ProgressTracker(total_chunks=len(self.queue))
         self._completions_since_checkpoint = 0
+        self._dirty_since_checkpoint = False
+        self._shutdown_signal: str | None = None
+        self._signals_installed = False
+        self._rebuild_streak = 0
         self._t0: float | None = None
 
+    # -- queue observers -----------------------------------------------
+
     def _on_lease_expire(self, task: SearchTask, now: float) -> None:
-        """Queue observer: a silent worker forfeited its chunk."""
+        """Queue observer: a worker forfeited its chunk (silent expiry
+        or explicit release after a crashed future)."""
         self.stats.lease_expiries += 1
         self.events.emit(
             "lease.expire",
@@ -170,33 +224,100 @@ class ParallelCoordinator:
             attempt=task.attempts,
         )
 
+    def _on_quarantine(self, task: SearchTask, now: float) -> None:
+        """Queue observer: a poison chunk exhausted its retry budget."""
+        self.stats.quarantined += 1
+        self._dirty_since_checkpoint = True
+        self.events.emit(
+            "chunk.quarantine", chunk=task.chunk_id, attempts=task.attempts
+        )
+        self._say(
+            f"chunk {task.chunk_id} quarantined after {task.attempts} "
+            "failed attempts"
+        )
+
+    def _on_backoff(self, task: SearchTask, delay: float) -> None:
+        self.stats.retry_backoffs += 1
+        self.events.emit(
+            "lease.backoff",
+            chunk=task.chunk_id,
+            attempt=task.attempts,
+            delay=round(delay, 6),
+        )
+
     # -- checkpoint / resume -------------------------------------------
 
     def save_checkpoint(self, path: str | None = None) -> None:
-        """Persist progress (defaults to the configured path)."""
+        """Durably persist progress (defaults to the configured path):
+        format 3 with CRC self-checksum, fsync'd rename, rotated
+        ``.prev`` generation, and the current quarantine set."""
         target = path or self.checkpoint_path
         if target is None:
             raise ValueError("no checkpoint path configured")
-        checkpoint_io.save(target, self.campaign, self.config, self.chunk_size)
+        checkpoint_io.save(
+            target,
+            self.campaign,
+            self.config,
+            self.chunk_size,
+            self.queue.quarantined_ids,
+        )
         self.stats.checkpoints_written += 1
+        self._dirty_since_checkpoint = False
         self.events.emit(
             "checkpoint.write",
             path=target,
             chunks_done=len(self.campaign.chunks_done),
+            quarantined=self.queue.quarantined,
         )
+        if (
+            self.faults is not None
+            and self.faults.corrupt_checkpoint_after is not None
+            and self.stats.checkpoints_written
+            == self.faults.corrupt_checkpoint_after
+        ):
+            # Injected silent bit rot: no event -- real disks don't
+            # announce corruption either.  Detection is load's job.
+            corrupt_file(target, seed=self.stats.checkpoints_written)
 
-    def resume(self, path: str | None = None) -> int:
+    def resume(
+        self, path: str | None = None, *, retry_quarantined: bool = False
+    ) -> int:
         """Load a checkpoint written by a compatible campaign and mark
-        its chunks done.  Returns the number of chunks skipped; raises
-        :class:`CheckpointMismatch` on a foreign checkpoint."""
+        its chunks done (and its quarantined chunks quarantined,
+        unless ``retry_quarantined`` grants them a fresh budget).
+
+        Falls back to the rotated previous generation when the current
+        file is corrupt, emitting ``checkpoint.corrupt``.  Returns the
+        number of chunks skipped; raises
+        :class:`~repro.dist.checkpoint.CheckpointMissing` when no
+        generation exists, :class:`~repro.dist.checkpoint.CheckpointCorrupt`
+        when none verifies, and :class:`CheckpointMismatch` on a
+        foreign checkpoint.
+        """
         target = path or self.checkpoint_path
         if target is None:
             raise ValueError("no checkpoint path configured")
-        campaign = checkpoint_io.load(target, self.config, self.chunk_size)
-        foreign = [c for c in campaign.chunks_done if c not in self.queue]
+        loaded = checkpoint_io.load(target, self.config, self.chunk_size)
+        if loaded.fell_back:
+            self.events.emit(
+                "checkpoint.corrupt",
+                path=target,
+                fallback=loaded.source,
+                error=str(loaded.corrupt_error),
+            )
+            self._say(
+                f"checkpoint {target} unusable ({loaded.corrupt_error}); "
+                f"recovered from previous generation {loaded.source}"
+            )
+        campaign = loaded.campaign
+        foreign = [
+            c
+            for c in sorted(campaign.chunks_done | loaded.quarantined)
+            if c not in self.queue
+        ]
         if foreign:
             raise CheckpointMismatch(
-                f"checkpoint {target} references chunks {sorted(foreign)}, "
+                f"checkpoint {loaded.source} references chunks {foreign}, "
                 f"outside this campaign's {len(self.queue)}-chunk partition "
                 "(chunk_size mismatch?)"
             )
@@ -204,10 +325,95 @@ class ParallelCoordinator:
         for chunk_id in campaign.chunks_done:
             if self.queue.complete(chunk_id, "checkpoint", 0.0):
                 skipped += 1
+        restored = 0
+        if not retry_quarantined:
+            for chunk_id in sorted(loaded.quarantined):
+                if self.queue.mark_quarantined(chunk_id):
+                    restored += 1
+                    self.stats.quarantined += 1
+                    self.events.emit(
+                        "chunk.quarantine",
+                        chunk=chunk_id,
+                        attempts=0,
+                        restored=True,
+                    )
         self.campaign = campaign
         self.stats.skipped_from_checkpoint = skipped
-        self.events.emit("campaign.resume", path=target, skipped=skipped)
+        self.events.emit(
+            "campaign.resume",
+            path=loaded.source,
+            skipped=skipped,
+            quarantined=restored,
+        )
         return skipped
+
+    # -- graceful shutdown ---------------------------------------------
+
+    def _handle_signal(self, signum: int, frame: object) -> None:
+        self._shutdown_signal = signal_module.Signals(signum).name
+
+    def _install_signal_handlers(self) -> dict[int, object]:
+        if not self.handle_signals:
+            return {}
+        previous: dict[int, object] = {}
+        for sig in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                previous[sig] = signal_module.signal(sig, self._handle_signal)
+            except ValueError:
+                # Not the main thread: signals cannot be hooked here;
+                # injected kill signals fall back to setting the flag.
+                return previous
+        self._signals_installed = True
+        return previous
+
+    def _restore_signal_handlers(self, previous: dict[int, object]) -> None:
+        for sig, handler in previous.items():
+            signal_module.signal(sig, handler)
+        self._signals_installed = False
+
+    def _inject_kill_signal(self) -> None:
+        """Deliver the fault plan's scheduled SIGTERM to ourselves."""
+        if self._signals_installed:
+            os.kill(os.getpid(), signal_module.SIGTERM)
+        else:
+            self._shutdown_signal = "SIGTERM"
+
+    def _drain(self, in_flight: dict[Future, SearchTask]) -> None:
+        """Stop-the-world on SIGTERM/SIGINT: give in-flight futures
+        ``drain_grace`` seconds, deliver what finished, forfeit the
+        rest, and report."""
+        delivered = forfeited = 0
+        done: set[Future] = set()
+        if in_flight:
+            done, _ = wait(set(in_flight), timeout=self.drain_grace)
+        now = time.monotonic()
+        for fut in done:
+            task = in_flight.pop(fut)
+            if fut.exception() is None:
+                _, result, worker_metrics = fut.result()
+                self._deliver(task, result, now, worker_metrics)
+                delivered += 1
+            else:
+                self.stats.crashes += 1
+                self.queue.release(task.chunk_id, PARENT_OWNER, now)
+                forfeited += 1
+        for fut, task in list(in_flight.items()):
+            fut.cancel()
+            self.queue.release(task.chunk_id, PARENT_OWNER, now)
+            forfeited += 1
+        in_flight.clear()
+        self.events.emit(
+            "shutdown.drain",
+            signal=self._shutdown_signal,
+            delivered=delivered,
+            forfeited=forfeited,
+            grace=self.drain_grace,
+        )
+        self._say(
+            f"{self._shutdown_signal} received: drained {delivered} "
+            f"in-flight chunks, forfeited {forfeited} -- "
+            + self.queue.progress()
+        )
 
     # -- the wall-clock drive loop -------------------------------------
 
@@ -233,7 +439,7 @@ class ParallelCoordinator:
             self.stats.reassignments += 1
         deliveries = 1
         if self.faults is not None and self.faults.duplicates_on(
-            POOL_CRASH, task.chunk_id
+            "pool", task.chunk_id
         ):
             deliveries = 2
         for _ in range(deliveries):
@@ -259,19 +465,33 @@ class ParallelCoordinator:
         self.metrics.merge(worker_metrics)
         self.stats.completions += 1
         self._completions_since_checkpoint += 1
+        self._dirty_since_checkpoint = True
+        self._rebuild_streak = 0  # real progress: the pool is healthy
         if (
             self.checkpoint_path is not None
             and self._completions_since_checkpoint >= self.checkpoint_every
         ):
             self.save_checkpoint()
             self._completions_since_checkpoint = 0
+        if (
+            self.faults is not None
+            and self.faults.kill_signal_after is not None
+            and self.stats.completions == self.faults.kill_signal_after
+        ):
+            self._inject_kill_signal()
 
     def run(self, stop_after: int | None = None) -> float:
-        """Run until the queue drains (or ``stop_after`` new
-        completions, for tests that checkpoint mid-flight).  Returns
-        elapsed wall-clock seconds."""
+        """Run until the queue drains (every chunk DONE or
+        QUARANTINED), ``stop_after`` new completions arrive (a test
+        hook for mid-flight checkpoints), or a SIGTERM/SIGINT triggers
+        a graceful drain.  Returns elapsed wall-clock seconds; check
+        :attr:`interrupted` and ``queue.quarantined_ids`` afterwards.
+        """
         t0 = time.monotonic()
         self._t0 = t0
+        self.interrupted = None
+        self._shutdown_signal = None
+        self._rebuild_streak = 0
         # Fresh tracker per run: a resumed/second run starts its own
         # wall clock, and observe() forbids time regressing.
         self.tracker = ProgressTracker(total_chunks=len(self.queue))
@@ -286,6 +506,7 @@ class ParallelCoordinator:
             chunks=len(self.queue),
             processes=self.processes,
         )
+        previous_handlers = self._install_signal_handlers()
         executor = self._new_executor()
         in_flight: dict[Future, SearchTask] = {}
         renew_interval = max(self.lease_duration / 3.0, 0.05)
@@ -293,7 +514,9 @@ class ParallelCoordinator:
         last_renew = t0
         last_summary = t0
         try:
-            while not self.queue.all_done:
+            while not self.queue.finished:
+                if self._shutdown_signal is not None:
+                    break
                 now = time.monotonic()
                 if self.max_seconds is not None and now - t0 > self.max_seconds:
                     raise RuntimeError(
@@ -303,7 +526,10 @@ class ParallelCoordinator:
                 if stop_after is not None and self.stats.completions >= stop_after:
                     break
                 # Keep the pool saturated: one in-flight chunk per slot.
-                while len(in_flight) < self.processes:
+                while (
+                    len(in_flight) < self.processes
+                    and self._shutdown_signal is None
+                ):
                     task = self.queue.lease(PARENT_OWNER, now)
                     if task is None:
                         break
@@ -319,18 +545,24 @@ class ParallelCoordinator:
                             self.collect_metrics,
                         )
                     except BrokenProcessPool:
-                        executor, in_flight = self._rebuild(executor, in_flight)
+                        self.queue.release(task.chunk_id, PARENT_OWNER, now)
+                        executor, in_flight = self._rebuild(
+                            executor, in_flight, now
+                        )
                         break
                     in_flight[fut] = task
                     self.events.emit(
                         "lease.grant", chunk=task.chunk_id, attempt=task.attempts
                     )
                 if not in_flight:
-                    # All remaining work is leased to failed attempts;
-                    # sleep to the earliest expiry so it gets reclaimed.
-                    expiry = self.queue.next_lease_expiry()
-                    if expiry is not None:
-                        time.sleep(min(max(expiry - time.monotonic(), 0.0) + 0.01, 1.0))
+                    # Everything leasable is either in a retry backoff
+                    # or leased to failed attempts; sleep to the next
+                    # instant the queue's state can change.
+                    wake = self.queue.next_wakeup(time.monotonic())
+                    if wake is not None:
+                        time.sleep(
+                            min(max(wake - time.monotonic(), 0.0) + 0.01, 1.0)
+                        )
                     continue
                 done, _ = wait(
                     set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
@@ -350,17 +582,21 @@ class ParallelCoordinator:
                         self.events.emit(
                             "worker.crash", chunk=task.chunk_id, kind="killed"
                         )
+                        self.queue.release(task.chunk_id, PARENT_OWNER, now)
                     elif isinstance(exc, WorkerCrashed):
-                        # Task-level crash: the pool survives, the
-                        # lease is left to expire and be re-leased.
+                        # Task-level crash: the pool survives; release
+                        # the lease now (the parent *knows* the attempt
+                        # failed) so the chunk re-leases after backoff
+                        # instead of waiting out the full lease.
                         self.stats.crashes += 1
                         self.events.emit(
                             "worker.crash", chunk=task.chunk_id, kind="crashed"
                         )
+                        self.queue.release(task.chunk_id, PARENT_OWNER, now)
                     else:
                         raise exc
                 if broken:
-                    executor, in_flight = self._rebuild(executor, in_flight)
+                    executor, in_flight = self._rebuild(executor, in_flight, now)
                 if now - last_renew >= renew_interval:
                     renewed = 0
                     for fut, task in in_flight.items():
@@ -377,36 +613,72 @@ class ParallelCoordinator:
                         + self.queue.progress()
                     )
                     last_summary = now
+            if self._shutdown_signal is not None:
+                self._drain(in_flight)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
+            self._restore_signal_handlers(previous_handlers)
         elapsed = time.monotonic() - t0
-        if self.checkpoint_path is not None and self._completions_since_checkpoint:
+        if self.checkpoint_path is not None and self._dirty_since_checkpoint:
             self.save_checkpoint()
             self._completions_since_checkpoint = 0
         if self.collect_metrics:
             self.events.emit("metrics.snapshot", metrics=self.metrics.snapshot())
-        self.events.emit(
-            "campaign.end",
-            elapsed=round(elapsed, 6),
-            completions=self.stats.completions,
-            examined=self.campaign.candidates_examined,
-            survivors=len(self.campaign.survivors),
-        )
+        if self._shutdown_signal is not None:
+            self.interrupted = self._shutdown_signal
+            self.events.emit(
+                "campaign.interrupted",
+                signal=self._shutdown_signal,
+                elapsed=round(elapsed, 6),
+                completions=self.stats.completions,
+                examined=self.campaign.candidates_examined,
+            )
+        else:
+            self.events.emit(
+                "campaign.end",
+                elapsed=round(elapsed, 6),
+                completions=self.stats.completions,
+                examined=self.campaign.candidates_examined,
+                survivors=len(self.campaign.survivors),
+                quarantined=self.queue.quarantined,
+            )
         self._say(
             self.tracker.summary(elapsed) + " | " + self.queue.progress()
         )
         return elapsed
 
     def _rebuild(
-        self, executor: ProcessPoolExecutor, in_flight: dict[Future, SearchTask]
+        self,
+        executor: ProcessPoolExecutor,
+        in_flight: dict[Future, SearchTask],
+        now: float,
     ) -> tuple[ProcessPoolExecutor, dict[Future, SearchTask]]:
-        """Replace a broken pool.  In-flight work is abandoned; its
-        leases expire on the real clock and the chunks are re-leased."""
+        """Replace a broken pool.  In-flight work is released back to
+        the queue (re-leased after backoff), and repeated rebuilds
+        without progress back off exponentially before giving up."""
         executor.shutdown(wait=False, cancel_futures=True)
+        for task in in_flight.values():
+            self.queue.release(task.chunk_id, PARENT_OWNER, now)
         self.stats.pool_rebuilds += 1
-        self.events.emit("pool.rebuild")
-        self._say(
-            "process pool broken (worker killed); rebuilding -- "
-            + self.queue.progress()
+        self._rebuild_streak += 1
+        if self._rebuild_streak > self.max_rebuild_streak:
+            raise RuntimeError(
+                f"process pool died {self._rebuild_streak} times in a row "
+                "without completing a chunk; giving up: "
+                + self.queue.progress()
+            )
+        backoff = min(
+            self.rebuild_backoff * (2 ** (self._rebuild_streak - 1)), 5.0
         )
+        self.events.emit(
+            "pool.rebuild",
+            streak=self._rebuild_streak,
+            backoff=round(backoff, 3),
+        )
+        self._say(
+            "process pool broken (worker killed); rebuilding in "
+            f"{backoff:.2f}s -- " + self.queue.progress()
+        )
+        if backoff > 0:
+            time.sleep(backoff)
         return self._new_executor(), {}

@@ -1,43 +1,80 @@
-"""Leased task queue with at-least-once semantics.
+"""Leased task queue with at-least-once semantics and retry budgets.
 
-Semantics (enforced by ``tests/dist/test_queue.py``):
+Semantics (enforced by ``tests/dist/test_tasks_queue.py``):
 
-* ``lease`` hands out the lowest-id PENDING task, marking it LEASED
-  with an expiry; expired leases are reclaimed lazily on the next
-  queue operation, so a silent worker cannot strand work.
+* ``lease`` hands out the lowest-id PENDING task whose retry backoff
+  has elapsed, marking it LEASED with an expiry; expired leases are
+  reclaimed lazily on the next queue operation, so a silent worker
+  cannot strand work.
 * ``complete`` is idempotent: the first completion of a chunk wins
   and returns True; replays (from recovered workers or duplicated
   messages) return False and change nothing.
 * A completion from a worker whose lease was reassigned is *still
   accepted* if the chunk is not yet done -- the computation is
   deterministic, so any worker's answer for a chunk is the answer.
+* Every forfeited attempt (lease expiry or an explicit ``release``
+  from an owner that knows its worker died) re-pends the task behind
+  an exponential backoff with deterministic jitter; a task that has
+  burned through ``max_attempts`` leases is QUARANTINED instead --
+  a deterministically-crashing "poison" chunk must not wedge the
+  campaign by being re-leased forever.
 
 Time is injected (``now`` parameters) rather than read from a clock,
 so both the real in-process coordinator and the virtual-time farm
-simulator drive the same code.
+simulator drive the same code.  The backoff jitter is seeded from
+``(chunk_id, attempts)``, never a real RNG, so two campaigns under
+the same fault schedule make identical scheduling decisions.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Callable
 
 from repro.dist.tasks import SearchTask, TaskStatus
 
 
 class TaskQueue:
-    """In-memory durable-semantics task queue for a search campaign."""
+    """In-memory durable-semantics task queue for a search campaign.
 
-    def __init__(self, tasks: list[SearchTask], lease_duration: float = 600.0):
+    ``max_attempts=0`` (the default) keeps the seed behaviour of an
+    unlimited retry budget; a positive value quarantines a task whose
+    that-many-th lease is forfeited.  ``backoff_base=0`` disables the
+    re-lease backoff (the simulated coordinator's logical clock does
+    not need one); a positive value delays attempt ``n+1`` by
+    ``backoff_base * 2**(n-1)`` seconds (capped at ``backoff_cap``)
+    scaled by a deterministic jitter in [0.5, 1.5).
+    """
+
+    def __init__(
+        self,
+        tasks: list[SearchTask],
+        lease_duration: float = 600.0,
+        *,
+        max_attempts: int = 0,
+        backoff_base: float = 0.0,
+        backoff_cap: float = 60.0,
+    ):
         ids = [t.chunk_id for t in tasks]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate chunk ids")
         self._tasks: dict[int, SearchTask] = {t.chunk_id: t for t in tasks}
         self.lease_duration = lease_duration
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         #: Optional observer invoked as ``on_expire(task, now)`` when a
-        #: lease is reclaimed -- expiry happens lazily inside queue
-        #: operations, so this hook is how the observability layer
-        #: (:mod:`repro.obs`) sees it.  Must not mutate the queue.
+        #: lease is forfeited (expiry or release) -- expiry happens
+        #: lazily inside queue operations, so this hook is how the
+        #: observability layer (:mod:`repro.obs`) sees it.  Must not
+        #: mutate the queue.
         self.on_expire: Callable[[SearchTask, float], None] | None = None
+        #: Observer invoked as ``on_quarantine(task, now)`` when a task
+        #: exhausts its retry budget.  Must not mutate the queue.
+        self.on_quarantine: Callable[[SearchTask, float], None] | None = None
+        #: Observer invoked as ``on_backoff(task, delay)`` when a
+        #: forfeited task is re-pended behind a backoff delay.
+        self.on_backoff: Callable[[SearchTask, float], None] | None = None
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -48,38 +85,83 @@ class TaskQueue:
     def task(self, chunk_id: int) -> SearchTask:
         return self._tasks[chunk_id]
 
-    def next_lease_expiry(self) -> float | None:
-        """Earliest expiry among live leases, or None if nothing is
-        leased.  The wall-clock runner sleeps until this instant when
-        all remaining work is held by (possibly dead) owners."""
-        expiries = [
-            t.lease_expires_at
-            for t in self._tasks.values()
-            if t.status is TaskStatus.LEASED
-        ]
-        return min(expiries) if expiries else None
+    # -- forfeit / backoff / quarantine --------------------------------
+
+    def _backoff_delay(self, task: SearchTask) -> float:
+        if self.backoff_base <= 0.0:
+            return 0.0
+        delay = min(
+            self.backoff_base * (2 ** max(task.attempts - 1, 0)),
+            self.backoff_cap,
+        )
+        # Deterministic jitter: seeded by (chunk, attempt), so replayed
+        # campaigns under the same fault schedule back off identically.
+        rng = random.Random((task.chunk_id << 16) ^ task.attempts)
+        return delay * (0.5 + rng.random())
+
+    def _forfeit(self, t: SearchTask, now: float, reason: str) -> None:
+        if self.on_expire is not None:
+            self.on_expire(t, now)  # owner/attempt still visible
+        if self.max_attempts and t.attempts >= self.max_attempts:
+            t.quarantine(now, f"{reason}; budget of {self.max_attempts} spent")
+            if self.on_quarantine is not None:
+                self.on_quarantine(t, now)
+            return
+        t.expire(now)
+        delay = self._backoff_delay(t)
+        if delay > 0.0:
+            t.not_before = now + delay
+            if self.on_backoff is not None:
+                self.on_backoff(t, delay)
 
     def _reclaim_expired(self, now: float) -> None:
         for t in self._tasks.values():
             if t.status is TaskStatus.LEASED and t.lease_expires_at <= now:
-                if self.on_expire is not None:
-                    self.on_expire(t, now)  # owner/attempt still visible
-                t.expire(now)
+                self._forfeit(t, now, "lease expired")
+
+    def release(self, chunk_id: int, worker_id: str, now: float) -> bool:
+        """Voluntary forfeit: the owner knows the attempt failed (a
+        crashed future, a drained shutdown) and returns the chunk
+        immediately instead of letting the lease time out.  Counts as
+        a forfeited attempt: the same backoff/quarantine bookkeeping
+        as an expiry.  False if the caller no longer holds the lease.
+        """
+        t = self._tasks[chunk_id]
+        if t.status is not TaskStatus.LEASED or t.owner != worker_id:
+            return False
+        self._forfeit(t, now, f"released by {worker_id}")
+        return True
+
+    def mark_quarantined(self, chunk_id: int) -> bool:
+        """Restore a quarantine verdict recorded in a checkpoint.
+        False (and no change) if the chunk is already DONE."""
+        t = self._tasks[chunk_id]
+        if t.status is TaskStatus.DONE:
+            return False
+        if t.status is TaskStatus.QUARANTINED:
+            return True
+        t.quarantine(0.0, "restored from checkpoint")
+        return True
+
+    # -- lease / complete ----------------------------------------------
 
     def lease(self, worker_id: str, now: float) -> SearchTask | None:
         """Lease the next available task, or None if nothing is
-        pending (work may still be in flight with other workers)."""
+        leasable right now (work may be in flight with other workers,
+        or pending tasks may be sitting out a retry backoff)."""
         self._reclaim_expired(now)
         for chunk_id in sorted(self._tasks):
             t = self._tasks[chunk_id]
-            if t.status is TaskStatus.PENDING:
+            if t.status is TaskStatus.PENDING and t.not_before <= now:
                 t.lease(worker_id, now, self.lease_duration)
                 return t
         return None
 
     def complete(self, chunk_id: int, worker_id: str, now: float) -> bool:
         """Record completion.  True if this is the first completion,
-        False for idempotent replays."""
+        False for idempotent replays.  A late result for a QUARANTINED
+        chunk is accepted (and rescues it): the computation is
+        deterministic, so any attempt's answer is the answer."""
         t = self._tasks[chunk_id]
         if t.status is TaskStatus.DONE:
             return False
@@ -95,6 +177,35 @@ class TaskQueue:
         t.lease_expires_at = now + self.lease_duration
         return True
 
+    # -- progress ------------------------------------------------------
+
+    def next_lease_expiry(self) -> float | None:
+        """Earliest expiry among live leases, or None if nothing is
+        leased."""
+        expiries = [
+            t.lease_expires_at
+            for t in self._tasks.values()
+            if t.status is TaskStatus.LEASED
+        ]
+        return min(expiries) if expiries else None
+
+    def next_wakeup(self, now: float) -> float | None:
+        """Earliest instant at which the queue's state can change on
+        its own: a live lease expiring or a backed-off task becoming
+        leasable.  The wall-clock runner sleeps until this instant
+        when nothing is leasable and nothing is in flight."""
+        instants = [
+            t.lease_expires_at
+            for t in self._tasks.values()
+            if t.status is TaskStatus.LEASED
+        ]
+        instants += [
+            t.not_before
+            for t in self._tasks.values()
+            if t.status is TaskStatus.PENDING and t.not_before > now
+        ]
+        return min(instants) if instants else None
+
     @property
     def pending(self) -> int:
         return sum(1 for t in self._tasks.values() if t.status is TaskStatus.PENDING)
@@ -108,12 +219,38 @@ class TaskQueue:
         return sum(1 for t in self._tasks.values() if t.status is TaskStatus.DONE)
 
     @property
+    def quarantined(self) -> int:
+        return sum(
+            1 for t in self._tasks.values() if t.status is TaskStatus.QUARANTINED
+        )
+
+    @property
+    def quarantined_ids(self) -> list[int]:
+        """Sorted chunk ids currently under quarantine."""
+        return sorted(
+            t.chunk_id
+            for t in self._tasks.values()
+            if t.status is TaskStatus.QUARANTINED
+        )
+
+    @property
     def all_done(self) -> bool:
+        """Every chunk computed (the clean-campaign invariant)."""
         return self.done == len(self._tasks)
+
+    @property
+    def finished(self) -> bool:
+        """No work left to schedule: every chunk is DONE or
+        QUARANTINED.  A campaign terminates on this, then reports the
+        quarantined ids (with a non-zero exit) if there are any."""
+        return self.done + self.quarantined == len(self._tasks)
 
     def progress(self) -> str:
         """One-line status, campaign-log style."""
-        return (
+        line = (
             f"{self.done}/{len(self._tasks)} chunks done, "
             f"{self.leased} in flight, {self.pending} pending"
         )
+        if self.quarantined:
+            line += f", {self.quarantined} quarantined"
+        return line

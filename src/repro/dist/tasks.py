@@ -21,6 +21,9 @@ class TaskStatus(enum.Enum):
     PENDING = "pending"
     LEASED = "leased"
     DONE = "done"
+    #: Retry budget exhausted: the chunk crashed its worker on every
+    #: attempt, so it is parked instead of wedging the campaign.
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -38,6 +41,9 @@ class SearchTask:
     owner: str | None = None
     lease_expires_at: float = 0.0
     attempts: int = 0
+    #: Earliest instant this task may be leased again -- the retry
+    #: backoff the queue imposes after a forfeited attempt.
+    not_before: float = 0.0
     history: list[str] = field(default_factory=list)
 
     @property
@@ -50,6 +56,7 @@ class SearchTask:
         self.status = TaskStatus.LEASED
         self.owner = worker_id
         self.lease_expires_at = now + duration
+        self.not_before = 0.0
         self.attempts += 1
         self.history.append(f"leased to {worker_id} at {now:.1f}")
 
@@ -61,6 +68,17 @@ class SearchTask:
         self.status = TaskStatus.PENDING
         self.owner = None
         self.lease_expires_at = 0.0
+
+    def quarantine(self, now: float, reason: str = "retry budget exhausted") -> None:
+        """Park a poison chunk: it failed on every attempt its budget
+        allowed, so it must stop wedging the campaign."""
+        self.history.append(
+            f"quarantined at {now:.1f} after {self.attempts} attempts ({reason})"
+        )
+        self.status = TaskStatus.QUARANTINED
+        self.owner = None
+        self.lease_expires_at = 0.0
+        self.not_before = 0.0
 
     def complete(self, worker_id: str, now: float) -> None:
         """Mark done (first completion wins; caller handles replays)."""

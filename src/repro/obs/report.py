@@ -57,7 +57,12 @@ class RunReport:
     worker_crashes: int = 0
     pool_rebuilds: int = 0
     checkpoint_writes: int = 0
+    checkpoint_corruptions: int = 0
     duplicate_deliveries: int = 0
+    quarantined_chunks: int = 0
+    retry_backoffs: int = 0
+    interruptions: int = 0
+    drain_forfeits: int = 0
     stage_kills: dict[int, int] = field(default_factory=dict)
     active_seconds: float = 0.0
     busy_seconds: float = 0.0
@@ -205,9 +210,24 @@ class RunReport:
                 report.pool_rebuilds += 1
             elif event == "checkpoint.write":
                 report.checkpoint_writes += 1
+            elif event == "checkpoint.corrupt":
+                report.checkpoint_corruptions += 1
+            elif event == "chunk.quarantine":
+                # A resumed session re-announces checkpoint-restored
+                # quarantines with restored=True; count fresh verdicts
+                # only, so multi-session logs don't double-count.
+                if not rec.get("restored"):
+                    report.quarantined_chunks += 1
+            elif event == "lease.backoff":
+                report.retry_backoffs += 1
+            elif event == "shutdown.drain":
+                report.interruptions += 1
+                report.drain_forfeits += rec.get("forfeited", 0)
             elif event == "metrics.snapshot":
                 report.metrics.merge(rec.get("metrics"))
-            elif event == "campaign.end" and "elapsed" in rec:
+            elif event in ("campaign.end", "campaign.interrupted") and (
+                "elapsed" in rec
+            ):
                 session_elapsed = (session_elapsed or 0.0) + float(
                     rec["elapsed"]
                 )
@@ -255,9 +275,21 @@ class RunReport:
             f"(expiry rate {self.lease_expiry_rate:.1%})",
             f"  faults: {self.worker_crashes} worker crashes, "
             f"{self.pool_rebuilds} pool rebuilds, "
-            f"{self.duplicate_deliveries} duplicate deliveries",
-            f"  checkpoints: {self.checkpoint_writes} written",
+            f"{self.duplicate_deliveries} duplicate deliveries, "
+            f"{self.retry_backoffs} retry backoffs",
+            f"  checkpoints: {self.checkpoint_writes} written, "
+            f"{self.checkpoint_corruptions} corruption fallbacks",
         ]
+        if self.quarantined_chunks:
+            lines.append(
+                f"  quarantine: {self.quarantined_chunks} chunks exhausted "
+                "their retry budget (campaign incomplete by design)"
+            )
+        if self.interruptions:
+            lines.append(
+                f"  shutdowns: {self.interruptions} graceful drains "
+                f"({self.drain_forfeits} in-flight chunks forfeited)"
+            )
         if self.stage_kills:
             final = self.final_length
             parts = []
@@ -312,7 +344,12 @@ class RunReport:
                 "worker_crashes": self.worker_crashes,
                 "pool_rebuilds": self.pool_rebuilds,
                 "checkpoint_writes": self.checkpoint_writes,
+                "checkpoint_corruptions": self.checkpoint_corruptions,
                 "duplicate_deliveries": self.duplicate_deliveries,
+                "quarantined_chunks": self.quarantined_chunks,
+                "retry_backoffs": self.retry_backoffs,
+                "interruptions": self.interruptions,
+                "drain_forfeits": self.drain_forfeits,
                 "bailout_efficiency": round(self.bailout_efficiency, 4),
                 "stage_kills": {
                     str(k): v for k, v in sorted(self.stage_kills.items())

@@ -114,13 +114,21 @@ class CampaignRecord:
         )
 
     def to_json_dict(self) -> dict[str, Any]:
+        # Results are serialized in polynomial order, not insertion
+        # (= chunk completion) order: two campaigns that merged the
+        # same chunks in different interleavings produce bit-identical
+        # JSON, which the chaos harness asserts and the checkpoint
+        # CRC-32 self-checksum depends on.
         return {
             "width": self.width,
             "data_word_bits": self.data_word_bits,
             "target_hd": self.target_hd,
             "chunks_done": sorted(self.chunks_done),
             "candidates_examined": self.candidates_examined,
-            "results": [r.to_json_dict() for r in self.results.values()],
+            "results": [
+                r.to_json_dict()
+                for r in sorted(self.results.values(), key=lambda r: r.poly)
+            ],
         }
 
     def to_json(self) -> str:

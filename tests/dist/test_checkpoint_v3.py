@@ -1,0 +1,175 @@
+"""Format-3 checkpoint durability: CRC self-check, generation
+rotation, corruption fallback, and legacy-format migration."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.dist import checkpoint as checkpoint_io
+from repro.dist.checkpoint import (
+    CheckpointCorrupt,
+    CheckpointMismatch,
+    CheckpointMissing,
+    previous_path,
+)
+from repro.dist.faults import corrupt_file
+from repro.search.exhaustive import SearchConfig, search_chunk
+from repro.search.records import CampaignRecord
+
+CFG = SearchConfig(width=6, target_hd=4, filter_lengths=(8, 20),
+                   confirm_weights=False)
+CHUNK = 8
+
+
+def make_campaign(chunks_done=()) -> CampaignRecord:
+    campaign = CampaignRecord(
+        width=CFG.width, data_word_bits=CFG.final_length,
+        target_hd=CFG.target_hd,
+    )
+    for chunk_id in chunks_done:
+        res = search_chunk(CFG, chunk_id * CHUNK, (chunk_id + 1) * CHUNK)
+        campaign.merge_chunk(chunk_id, res.records, res.examined)
+    return campaign
+
+
+def save(path, campaign, quarantined=()):
+    checkpoint_io.save(str(path), campaign, CFG, CHUNK, quarantined)
+
+
+class TestFormat3:
+    def test_round_trips_with_crc(self, tmp_path):
+        path = tmp_path / "c.json"
+        campaign = make_campaign([0, 1])
+        save(path, campaign, quarantined=[3])
+        loaded = checkpoint_io.load(str(path), CFG, CHUNK)
+        assert loaded.format_version == 3
+        assert not loaded.fell_back
+        assert loaded.source == str(path)
+        assert loaded.quarantined == {3}
+        assert loaded.campaign.to_json() == campaign.to_json()
+
+    def test_crc_covers_canonical_payload(self, tmp_path):
+        path = tmp_path / "c.json"
+        save(path, make_campaign([0]))
+        doc = json.loads(path.read_text())
+        assert int(doc["crc32"], 16) == checkpoint_io.payload_crc(doc)
+        # The checksum field itself is excluded from the covered bytes.
+        assert b"crc32" not in checkpoint_io.canonical_payload_bytes(doc)
+
+    def test_any_byte_flip_is_detected(self, tmp_path):
+        path = tmp_path / "c.json"
+        save(path, make_campaign([0, 1, 2]))
+        raw = bytearray(path.read_bytes())
+        # Change one digit of a count: the file stays perfectly valid
+        # JSON (a structural parse would accept the silently-wrong
+        # number), but the CRC self-check must refuse it.
+        marker = b'"candidates_examined": '
+        idx = raw.index(marker) + len(marker)
+        raw[idx] = ord("9") if raw[idx] != ord("9") else ord("8")
+        path.write_bytes(bytes(raw))
+        assert not checkpoint_io.verify_file(str(path))
+        with pytest.raises(CheckpointCorrupt, match="CRC-32 self-check"):
+            checkpoint_io.load(str(path), CFG, CHUNK)
+
+    def test_truncated_file_is_corrupt(self, tmp_path):
+        path = tmp_path / "c.json"
+        save(path, make_campaign([0]))  # first save: no .prev to fall back on
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # torn write
+        with pytest.raises(CheckpointCorrupt):
+            checkpoint_io.load(str(path), CFG, CHUNK)
+
+    def test_missing_checkpoint_has_actionable_error(self, tmp_path):
+        with pytest.raises(CheckpointMissing, match="no checkpoint found"):
+            checkpoint_io.load(str(tmp_path / "never.json"), CFG, CHUNK)
+
+
+class TestGenerations:
+    def test_save_rotates_previous_generation(self, tmp_path):
+        path = tmp_path / "c.json"
+        save(path, make_campaign([0]))
+        assert not os.path.exists(previous_path(str(path)))
+        save(path, make_campaign([0, 1]))
+        prev = checkpoint_io.load(previous_path(str(path)), CFG, CHUNK)
+        assert prev.campaign.chunks_done == {0}
+
+    def test_corrupt_current_falls_back_to_previous(self, tmp_path):
+        path = tmp_path / "c.json"
+        save(path, make_campaign([0]))
+        save(path, make_campaign([0, 1]))
+        corrupt_file(str(path), seed=7)
+        loaded = checkpoint_io.load(str(path), CFG, CHUNK)
+        assert loaded.fell_back
+        assert loaded.source == previous_path(str(path))
+        assert loaded.corrupt_error is not None
+        assert loaded.campaign.chunks_done == {0}
+
+    def test_missing_current_falls_back_to_previous(self, tmp_path):
+        path = tmp_path / "c.json"
+        save(path, make_campaign([0]))
+        save(path, make_campaign([0, 1]))
+        os.unlink(path)
+        loaded = checkpoint_io.load(str(path), CFG, CHUNK)
+        assert loaded.fell_back and loaded.campaign.chunks_done == {0}
+
+    def test_both_generations_corrupt_raises(self, tmp_path):
+        path = tmp_path / "c.json"
+        save(path, make_campaign([0]))
+        save(path, make_campaign([0, 1]))
+        corrupt_file(str(path), seed=1)
+        corrupt_file(previous_path(str(path)), seed=2)
+        with pytest.raises(CheckpointCorrupt, match="both"):
+            checkpoint_io.load(str(path), CFG, CHUNK)
+
+    def test_corrupt_current_is_not_promoted(self, tmp_path):
+        """Saving over silent bit rot must not rotate the rotten bytes
+        into .prev -- that would poison the only fallback."""
+        path = tmp_path / "c.json"
+        save(path, make_campaign([0]))
+        corrupt_file(str(path), seed=3)
+        save(path, make_campaign([0, 1]))
+        assert not os.path.exists(previous_path(str(path)))
+        loaded = checkpoint_io.load(str(path), CFG, CHUNK)
+        assert loaded.campaign.chunks_done == {0, 1}
+
+    def test_mismatch_never_triggers_fallback(self, tmp_path):
+        """A well-formed foreign checkpoint raises CheckpointMismatch
+        even when a previous generation exists: the .prev of a foreign
+        campaign is just as foreign."""
+        path = tmp_path / "c.json"
+        save(path, make_campaign([0]))
+        save(path, make_campaign([0, 1]))
+        other = SearchConfig(width=8, target_hd=4, filter_lengths=(8, 20),
+                             confirm_weights=False)
+        with pytest.raises(CheckpointMismatch):
+            checkpoint_io.load(str(path), other, CHUNK)
+
+
+class TestLegacyFormats:
+    def test_format_1_bare_record_loads(self, tmp_path):
+        campaign = make_campaign([0])
+        path = tmp_path / "legacy1.json"
+        path.write_text(campaign.to_json())
+        loaded = checkpoint_io.load(str(path), CFG, CHUNK)
+        assert loaded.format_version == 1
+        assert loaded.quarantined == set()
+        assert loaded.campaign.chunks_done == {0}
+
+    def test_format_2_envelope_loads(self, tmp_path):
+        campaign = make_campaign([0, 2])
+        doc = {
+            "format": checkpoint_io.FORMAT_2,
+            "config": {
+                "width": CFG.width, "target_hd": CFG.target_hd,
+                "final_length": CFG.final_length, "chunk_size": CHUNK,
+            },
+            "campaign": campaign.to_json_dict(),
+        }
+        path = tmp_path / "legacy2.json"
+        path.write_text(json.dumps(doc))
+        loaded = checkpoint_io.load(str(path), CFG, CHUNK)
+        assert loaded.format_version == 2
+        assert loaded.campaign.chunks_done == {0, 2}

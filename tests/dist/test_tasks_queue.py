@@ -105,3 +105,157 @@ class TestCompletion:
         q.lease("w1", 0.0)
         assert "1 in flight" in q.progress()
         assert not q.all_done
+
+
+class TestRetryBudget:
+    """max_attempts / backoff / quarantine semantics (new in the
+    survival kit; max_attempts=0 above keeps the legacy behaviour)."""
+
+    def make_queue(self, **kw):
+        kw.setdefault("lease_duration", 5.0)
+        kw.setdefault("max_attempts", 3)
+        return TaskQueue(partition_space(6, 8), **kw)
+
+    def test_budget_exhaustion_quarantines(self):
+        q = self.make_queue()
+        seen = []
+        q.on_quarantine = lambda t, now: seen.append(t.chunk_id)
+        now = 0.0
+        for _ in range(3):  # three leases, three expiries
+            t = q.lease("w", now)
+            assert t.chunk_id == 0
+            now += 10.0  # past the lease
+        q.lease("w2", now)  # reclaim triggers the forfeit accounting
+        task = q.task(0)
+        assert task.status is TaskStatus.QUARANTINED
+        assert seen == [0]
+        assert q.quarantined_ids == [0]
+        assert not q.all_done
+        assert "quarantined" in q.progress()
+
+    def test_release_counts_against_budget(self):
+        q = self.make_queue(max_attempts=2)
+        t = q.lease("w", 0.0)
+        assert q.release(t.chunk_id, "w", 1.0)       # voluntary forfeit
+        assert not q.release(t.chunk_id, "w", 1.1)   # no longer the owner
+        t = q.lease("w", 2.0)
+        assert t.attempts == 2
+        q.release(t.chunk_id, "w", 3.0)              # budget spent
+        assert q.task(t.chunk_id).status is TaskStatus.QUARANTINED
+
+    def test_backoff_delays_next_lease(self):
+        q = TaskQueue(partition_space(6, 32), lease_duration=5.0,
+                      backoff_base=1.0)  # single-chunk partition
+        delays = []
+        q.on_backoff = lambda t, d: delays.append(d)
+        t = q.lease("w", 0.0)
+        q.release(t.chunk_id, "w", 1.0)
+        assert len(delays) == 1 and 0.5 <= delays[0] <= 1.5
+        assert q.lease("w", 1.0) is None              # still backing off
+        assert q.lease("w", 1.0 + delays[0]) is not None
+        assert q.next_wakeup(1.0) is not None
+
+    def test_backoff_jitter_is_deterministic(self):
+        def delays_for(seed_unused):
+            q = self.make_queue(backoff_base=1.0, max_attempts=0)
+            out = []
+            q.on_backoff = lambda t, d: out.append(d)
+            for i in range(2):
+                t = q.lease("w", 100.0 * i)
+                q.release(t.chunk_id, "w", 100.0 * i + 1)
+            return out
+
+        assert delays_for(0) == delays_for(1)
+
+    def test_late_completion_rescues_quarantined_chunk(self):
+        """The computation is deterministic: a straggler's answer for
+        a quarantined chunk is still *the* answer."""
+        q = self.make_queue(max_attempts=1)
+        t = q.lease("w", 0.0)
+        q.release(t.chunk_id, "w", 1.0)
+        assert q.task(t.chunk_id).status is TaskStatus.QUARANTINED
+        assert q.complete(t.chunk_id, "w", 2.0)
+        assert q.task(t.chunk_id).status is TaskStatus.DONE
+        assert q.quarantined == 0
+
+    def test_mark_quarantined_restores_checkpoint_verdict(self):
+        q = self.make_queue()
+        assert q.mark_quarantined(1)
+        assert q.mark_quarantined(1)          # idempotent
+        assert q.quarantined_ids == [1]
+        t = q.lease("w", 0.0)
+        assert t.chunk_id == 0                # quarantined chunk skipped
+        q.complete(0, "w", 1.0)
+        assert not q.mark_quarantined(0)      # DONE wins over quarantine
+
+    def test_finished_counts_quarantine_but_all_done_does_not(self):
+        q = TaskQueue(partition_space(6, 16), lease_duration=5.0,
+                      max_attempts=1)
+        t = q.lease("w", 0.0)
+        q.release(t.chunk_id, "w", 1.0)       # quarantined (budget 1)
+        assert not q.finished
+        t = q.lease("w", 2.0)
+        q.complete(t.chunk_id, "w", 3.0)
+        assert q.finished
+        assert not q.all_done
+
+
+class TestExactlyOnceAccounting:
+    """Queue edge cases driven through a CampaignRecord, asserting the
+    end-to-end exactly-once merge the campaign relies on."""
+
+    def _engine(self):
+        from repro.search.exhaustive import SearchConfig, search_chunk
+        from repro.search.records import CampaignRecord
+
+        cfg = SearchConfig(width=6, target_hd=4, filter_lengths=(8, 20),
+                           confirm_weights=False)
+        campaign = CampaignRecord(width=6, data_word_bits=20, target_hd=4)
+
+        def deliver(campaign_, task):
+            res = search_chunk(cfg, task.start_index, task.end_index)
+            return campaign_.merge_chunk(task.chunk_id, res.records,
+                                         res.examined)
+
+        return campaign, deliver
+
+    def test_renew_after_expiry_then_both_complete_once(self):
+        campaign, deliver = self._engine()
+        q = TaskQueue(partition_space(6, 8), lease_duration=5.0)
+        t = q.lease("w1", 0.0)
+        # w1's lease silently expires; w2 re-leases the chunk.
+        t2 = q.lease("w2", 6.0)
+        assert t2.chunk_id == t.chunk_id
+        assert not q.renew(t.chunk_id, "w1", 6.5)   # w1 must abandon
+        # Both deliver anyway (w1 never got the memo): merged once.
+        assert q.complete(t.chunk_id, "w2", 7.0) and deliver(campaign, t2)
+        assert not q.complete(t.chunk_id, "w1", 7.5)
+        assert not deliver(campaign, t)
+        assert campaign.chunks_done == {t.chunk_id}
+        examined_once = campaign.candidates_examined
+        assert examined_once == t.size
+
+    def test_stale_owner_completion_after_release(self):
+        campaign, deliver = self._engine()
+        q = TaskQueue(partition_space(6, 8), lease_duration=5.0,
+                      max_attempts=5)
+        t = q.lease("w1", 0.0)
+        q.release(t.chunk_id, "w1", 1.0)            # parent saw w1 die
+        t2 = q.lease("w2", 2.0)
+        assert t2.chunk_id == t.chunk_id and t2.attempts == 2
+        # The "dead" worker's completion lands first: accepted once.
+        assert q.complete(t.chunk_id, "w1", 2.5) and deliver(campaign, t)
+        assert not q.complete(t.chunk_id, "w2", 3.0)
+        assert not deliver(campaign, t2)
+        assert q.done == 1
+        assert campaign.candidates_examined == t.size
+
+    def test_duplicate_complete_merges_once(self):
+        campaign, deliver = self._engine()
+        q = TaskQueue(partition_space(6, 8), lease_duration=5.0)
+        t = q.lease("w1", 0.0)
+        first = q.complete(t.chunk_id, "w1", 1.0) and deliver(campaign, t)
+        second = q.complete(t.chunk_id, "w1", 1.1) and deliver(campaign, t)
+        assert first and not second
+        assert len(campaign.chunks_done) == 1
+        assert campaign.candidates_examined == t.size

@@ -273,3 +273,60 @@ class TestRealCampaigns:
         assert runner.queue.all_done
         assert list(tmp_path.iterdir()) == []   # no log, no side files
         assert runner.metrics.counters == {}    # no worker snapshots
+
+
+class TestSurvivalEvents:
+    """The survival-kit vocabulary folds into the report."""
+
+    def _stream(self):
+        return [
+            {"v": 1, "seq": 0, "t": 0.0, "event": "log.open",
+             "wall": 1e9, "pid": 1},
+            {"v": 1, "seq": 1, "t": 0.0, "event": "campaign.start",
+             "backend": "pool", "width": 8, "target_hd": 4,
+             "final_length": 100, "chunk_size": 8, "chunks": 4,
+             "processes": 2},
+            {"v": 1, "seq": 2, "t": 0.2, "event": "lease.backoff",
+             "chunk": 1, "attempt": 1, "delay": 0.05},
+            {"v": 1, "seq": 3, "t": 0.5, "event": "chunk.quarantine",
+             "chunk": 1, "attempts": 3},
+            {"v": 1, "seq": 4, "t": 0.6, "event": "shutdown.drain",
+             "signal": "SIGTERM", "delivered": 1, "forfeited": 2,
+             "grace": 5.0},
+            {"v": 1, "seq": 5, "t": 0.7, "event": "campaign.interrupted",
+             "signal": "SIGTERM", "elapsed": 0.7, "completions": 1,
+             "examined": 8},
+            # Session 2: resume re-announces the checkpoint-restored
+            # quarantine and reports the corrupt current generation.
+            {"v": 1, "seq": 0, "t": 0.0, "event": "log.open",
+             "wall": 1e9, "pid": 2},
+            {"v": 1, "seq": 1, "t": 0.0, "event": "checkpoint.corrupt",
+             "path": "c.json", "fallback": "c.json.prev", "error": "crc"},
+            {"v": 1, "seq": 2, "t": 0.1, "event": "chunk.quarantine",
+             "chunk": 1, "attempts": 0, "restored": True},
+            {"v": 1, "seq": 3, "t": 0.2, "event": "campaign.resume",
+             "path": "c.json.prev", "skipped": 1, "quarantined": 1},
+        ]
+
+    def test_counters_fold(self):
+        rep = RunReport.from_events(self._stream())
+        assert rep.retry_backoffs == 1
+        assert rep.quarantined_chunks == 1  # restored=True not re-counted
+        assert rep.interruptions == 1
+        assert rep.drain_forfeits == 2
+        assert rep.checkpoint_corruptions == 1
+        assert rep.sessions == 2
+        # campaign.interrupted carries the session's elapsed time.
+        assert rep.active_seconds == pytest.approx(0.7 + 0.2)
+
+    def test_render_and_bench_mention_survival_lines(self, tmp_path):
+        rep = RunReport.from_events(self._stream())
+        text = rep.render()
+        assert "quarantine: 1 chunks" in text
+        assert "1 graceful drains" in text
+        assert "1 corruption fallbacks" in text
+        bench = rep.to_bench_dict()["metrics"]
+        assert bench["quarantined_chunks"] == 1
+        assert bench["interruptions"] == 1
+        assert bench["checkpoint_corruptions"] == 1
+        assert bench["retry_backoffs"] == 1

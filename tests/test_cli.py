@@ -156,13 +156,30 @@ class TestCommands:
         assert main(base + ["--parallel", "2", "--checkpoint", par]) == 0
         capsys.readouterr()
         cfg = SearchConfig.for_bits(6, 3, 20)
-        assert (
-            load_checkpoint(sim, cfg, 8) == load_checkpoint(par, cfg, 8)
-        )
+        # Same campaign, different backends: the records (and their
+        # canonical JSON, which the checkpoint CRC covers) must agree.
+        a = load_checkpoint(sim, cfg, 8)
+        b = load_checkpoint(par, cfg, 8)
+        assert a.campaign.to_json() == b.campaign.to_json()
+        assert a.quarantined == b.quarantined == set()
 
     def test_campaign_resume_requires_checkpoint(self, capsys):
         assert main(["campaign", "--width", "6", "--target-hd", "3",
                      "--bits", "20", "--resume"]) == 2
+
+    def test_campaign_resume_missing_checkpoint_is_friendly(
+        self, tmp_path, capsys
+    ):
+        """--resume pointed at a nonexistent file must explain itself
+        (the seed behaviour silently started a fresh campaign)."""
+        missing = str(tmp_path / "nope.ckpt")
+        for backend in ([], ["--parallel", "2"]):
+            assert main(["campaign", "--width", "6", "--target-hd", "3",
+                         "--bits", "20", "--chunk-size", "8",
+                         "--checkpoint", missing, "--resume"] + backend) == 2
+            err = capsys.readouterr().err
+            assert "no checkpoint found" in err
+            assert "--checkpoint" in err
 
     def test_crc(self, capsys):
         assert main(["crc", "CRC-32/IEEE-802.3",

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Chaos harness: a real parallel campaign under a scripted disaster.
+
+Runs the same wall-clock :class:`~repro.dist.pool.ParallelCoordinator`
+campaign three ways and holds the results to the repo's governing
+invariant -- *whatever happens to the processes, the finished campaign
+record is bit-identical to a fault-free run*:
+
+1. **Reference**: no faults, no checkpoint.  The ground truth.
+2. **Chaos**: a seeded :meth:`~repro.dist.faults.FaultPlan.chaos_plan`
+   soft-crashes a fraction of first attempts, hard-kills one
+   subprocess (breaking the executor), duplicates one completion, and
+   SIGTERMs the coordinator mid-run.  The drained session writes a
+   final checkpoint; this script then scribbles over that checkpoint
+   (silent bit rot) before resuming.  The resume must fall back to the
+   rotated ``.prev`` generation via the CRC self-check, recompute
+   whatever the older generation lacks, and finish with the reference
+   record, byte for byte.
+3. **Poison**: one chunk crashes its worker on *every* attempt.  The
+   retry budget must quarantine it: the campaign terminates (instead
+   of re-leasing forever), reports the chunk, and the record holds
+   exactly everything else.
+
+Exit status 0 iff every assertion holds.  Deterministic in ``--seed``:
+two invocations with the same seed produce the same fault schedule
+and the same final records (``tests/dist/test_chaos.py`` pins the
+plan-level determinism down; ``make chaos-smoke`` runs this script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.dist.checkpoint import previous_path  # noqa: E402
+from repro.dist.faults import FaultPlan, corrupt_file  # noqa: E402
+from repro.dist.pool import ParallelCoordinator  # noqa: E402
+from repro.obs.events import EventLog, read_events  # noqa: E402
+from repro.search.exhaustive import SearchConfig  # noqa: E402
+
+#: Same cheap-but-real search the pool test suite drives: 128
+#: candidates, 16 chunks, subsecond per chunk.
+CFG = SearchConfig(
+    width=8, target_hd=4, filter_lengths=(16, 40, 100), confirm_weights=False
+)
+CHUNK_SIZE = 8
+MAX_SECONDS = 120.0
+
+
+def make_runner(**kwargs) -> ParallelCoordinator:
+    kwargs.setdefault("config", CFG)
+    kwargs.setdefault("chunk_size", CHUNK_SIZE)
+    kwargs.setdefault("processes", 2)
+    kwargs.setdefault("lease_duration", 2.0)
+    kwargs.setdefault("max_seconds", MAX_SECONDS)
+    kwargs.setdefault("retry_backoff", 0.01)
+    return ParallelCoordinator(**kwargs)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def chaos_run(seed: int, workdir: str, say) -> None:
+    """Kill + corrupt + resume; the record must match the reference."""
+    reference = make_runner()
+    reference.run()
+    check(reference.queue.all_done, "reference run did not finish")
+    ref_json = reference.campaign.to_json()
+    say(f"reference: {reference.stats.completions} chunks, "
+        f"{len(reference.campaign.survivors)} survivors")
+
+    ckpt = os.path.join(workdir, "chaos.ckpt")
+    events_path = os.path.join(workdir, "chaos.jsonl")
+    chunks = len(reference.queue)
+    plan = FaultPlan.chaos_plan(
+        seed,
+        chunks,
+        crash_fraction=0.2,
+        kill_count=1,
+        duplicate=True,
+        # SIGTERM the coordinator mid-campaign: late enough that at
+        # least two checkpoint generations exist (so the corruption
+        # below has a .prev to fall back to), early enough that real
+        # work remains for the resumed session.
+        kill_signal_after=chunks // 2,
+    )
+    say(f"chaos plan: crash {sorted(plan.crash_chunks)}, "
+        f"kill {sorted(plan.kill_chunks)}, SIGTERM after "
+        f"{plan.kill_signal_after} completions")
+
+    with EventLog(events_path) as events:
+        session1 = make_runner(
+            checkpoint_path=ckpt, checkpoint_every=2, faults=plan,
+            events=events,
+        )
+        session1.run()
+        check(
+            session1.interrupted == "SIGTERM",
+            f"expected a SIGTERM drain, got {session1.interrupted!r}",
+        )
+        check(
+            os.path.exists(previous_path(ckpt)),
+            "no rotated .prev generation on disk after the drain",
+        )
+        say(f"session 1: drained on SIGTERM with "
+            f"{session1.stats.completions} chunks done, "
+            f"{session1.stats.checkpoints_written} checkpoints written")
+
+        corrupt_file(ckpt, seed=seed)
+        say(f"corrupted live checkpoint {ckpt}")
+
+        # Same chunk-level faults (unfinished chunks crash their first
+        # attempt again -- the resumed queue starts fresh), but the
+        # operator's SIGTERM was a one-time event.
+        resumed_plan = dataclasses.replace(plan, kill_signal_after=None)
+        session2 = make_runner(
+            checkpoint_path=ckpt, checkpoint_every=2, faults=resumed_plan,
+            events=events,
+        )
+        skipped = session2.resume()
+        session2.run()
+        check(session2.interrupted is None, "resumed session interrupted")
+        check(session2.queue.all_done, "resumed session did not finish")
+        say(f"session 2: fell back to .prev, skipped {skipped} chunks, "
+            f"computed {session2.stats.completions}")
+
+    names = [rec["event"] for rec in read_events(events_path)]
+    check(
+        "checkpoint.corrupt" in names,
+        "resume did not report the corrupted generation",
+    )
+    check("shutdown.drain" in names, "drain event missing from the log")
+    check(
+        "campaign.interrupted" in names,
+        "campaign.interrupted event missing from the log",
+    )
+
+    final_json = session2.campaign.to_json()
+    check(
+        final_json == ref_json,
+        "chaos campaign record differs from the fault-free reference",
+    )
+    total_done = len(session2.campaign.chunks_done)
+    check(total_done == chunks, f"{total_done}/{chunks} chunks accounted for")
+    say("chaos record is bit-identical to the reference")
+
+
+def poison_run(seed: int, workdir: str, say) -> None:
+    """A chunk that always crashes must end quarantined, not wedge."""
+    poison = seed % (128 // CHUNK_SIZE)
+    plan = FaultPlan(poison_chunks={poison})
+    runner = make_runner(
+        checkpoint_path=os.path.join(workdir, "poison.ckpt"),
+        faults=plan,
+        max_attempts=3,
+    )
+    runner.run()
+    check(runner.queue.finished, "poison campaign did not terminate")
+    check(not runner.queue.all_done, "poison chunk completed impossibly")
+    check(
+        runner.queue.quarantined_ids == [poison],
+        f"expected chunk {poison} quarantined, "
+        f"got {runner.queue.quarantined_ids}",
+    )
+    check(
+        poison not in runner.campaign.chunks_done,
+        "quarantined chunk leaked into the campaign record",
+    )
+    check(
+        len(runner.campaign.chunks_done) == len(runner.queue) - 1,
+        "healthy chunks went missing from the poison campaign",
+    )
+    say(f"poison chunk {poison} quarantined after "
+        f"{runner.queue.task(poison).attempts} attempts; "
+        f"all other chunks completed")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2002)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    say = (lambda m: None) if args.quiet else (lambda m: print(f"  {m}"))
+    t0 = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix="chaos-campaign-") as workdir:
+        print(f"chaos campaign (seed {args.seed})")
+        chaos_run(args.seed, workdir, say)
+        print("poison campaign")
+        poison_run(args.seed, workdir, say)
+    print(f"PASS in {time.monotonic() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
