@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-all verify docs-check chaos-smoke bench bench-smoke bench-full repro examples clean
+.PHONY: install test test-all verify docs-check chaos-smoke bench bench-smoke backend-gate bench-full repro examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -47,6 +47,11 @@ bench:
 # produce identical records (smoke timings printed, no floor asserted).
 bench-smoke:
 	PYTHONPATH=src $(PY) tools/bench_smoke.py
+
+# Kernel-registry identity gate: every generated backend of every
+# catalog spec must agree with the bit-serial reference, end to end.
+backend-gate:
+	PYTHONPATH=src $(PY) tools/backend_gate.py
 
 bench-full:
 	REPRO_FULL=1 $(PY) -m pytest benchmarks/ --benchmark-only

@@ -1,21 +1,40 @@
 """E12: CRC engine throughput (substrate performance).
 
 The paper's polynomials only matter if CRCs stay cheap to compute at
-line rate; this measures the three software engines on an MTU-sized
-payload and the per-byte cost ordering (bit-serial << table <<
-slice-by-4 is the expected *throughput* ordering).  These are true
-microbenchmarks (multiple rounds), unlike the reproduction
-measurements elsewhere in the harness."""
+line rate; this measures the generated kernel registry
+(:mod:`repro.crc.backends`) on MTU-sized payloads: every registered
+backend of every catalog spec, correctness asserted against the
+bit-serial reference before any timing is kept.  The per-byte cost
+ordering (bit-serial << table << slice-by-N, with the numpy wordwise
+kernel ahead on large buffers) is the expected *throughput* ordering.
+These are true microbenchmarks (multiple rounds), unlike the
+reproduction measurements elsewhere in the harness.
+
+Output: ``results/crc_engines.json`` plus the committed
+``BENCH_crc_engines.json`` at the repo root (schema 1, like
+``BENCH_batched_search.json``).
+"""
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+import time
+
 import pytest
 
-from repro.crc.catalog import get_spec
-from repro.crc.engine import crc_bitwise, crc_slice4, crc_table
+from conftest import once
+from repro.crc.backends import available_backends, crc_compute
+from repro.crc.catalog import CATALOG, get_spec
+from repro.crc.engine import crc_bitwise
 
 SPEC = get_spec("CRC-32/IEEE-802.3")
 PAYLOAD = bytes(range(256)) * 6  # 1536 bytes ~ one MTU frame
+SWEEP_PAYLOAD = bytes((i * 151 + 43) & 0xFF for i in range(4096))
+SWEEP_REPS = 3
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="module")
@@ -23,22 +42,69 @@ def expected():
     return crc_bitwise(SPEC, PAYLOAD)
 
 
-def test_bitwise_engine(benchmark, expected):
-    result = benchmark(crc_bitwise, SPEC, PAYLOAD)
+@pytest.mark.parametrize("backend", ["bitwise", "bytewise", "slice4", "slice8",
+                                     "wordwise"])
+def test_engine_backend(benchmark, expected, backend):
+    if backend not in available_backends(SPEC):
+        pytest.skip(f"{backend} backend not registered here")
+    crc_compute(SPEC, b"warm", backend=backend)  # build outside the clock
+    result = benchmark(crc_compute, SPEC, PAYLOAD, backend=backend)
     assert result == expected
 
 
-def test_table_engine(benchmark, expected):
-    # warm the table cache outside the timed region
-    crc_table(SPEC, b"warm")
-    result = benchmark(crc_table, SPEC, PAYLOAD)
-    assert result == expected
+def test_backend_sweep(benchmark, record):
+    """Every catalog spec through every registered backend: correctness
+    against the reference, then best-of-``SWEEP_REPS`` throughput."""
 
+    def sweep():
+        rows = {}
+        for name in sorted(CATALOG):
+            spec = CATALOG[name]
+            ref = crc_bitwise(spec, SWEEP_PAYLOAD)
+            per_backend = {}
+            for backend in available_backends(spec):
+                assert crc_compute(spec, SWEEP_PAYLOAD, backend=backend) == ref
+                best = None
+                for _ in range(SWEEP_REPS):
+                    t0 = time.perf_counter()
+                    crc_compute(spec, SWEEP_PAYLOAD, backend=backend)
+                    elapsed = time.perf_counter() - t0
+                    if best is None or elapsed < best:
+                        best = elapsed
+                per_backend[backend] = len(SWEEP_PAYLOAD) / best / 1e6
+            rows[name] = per_backend
+        return rows
 
-def test_slice4_engine(benchmark, expected):
-    crc_slice4(SPEC, b"warm")
-    result = benchmark(crc_slice4, SPEC, PAYLOAD)
-    assert result == expected
+    rows = once(benchmark, sweep)
+
+    metrics = {
+        name: {backend: round(mbps, 2) for backend, mbps in per.items()}
+        for name, per in rows.items()
+    }
+    record("crc_engines", {"backend_mbyte_per_s": metrics})
+
+    bench = {
+        "bench": "crc_engines",
+        "schema": 1,
+        "config": {
+            "payload_bytes": len(SWEEP_PAYLOAD),
+            "reps": SWEEP_REPS,
+            "specs": sorted(CATALOG),
+        },
+        "metrics": {"backend_mbyte_per_s": metrics},
+    }
+    out = REPO_ROOT / "BENCH_crc_engines.json"
+    tmp = str(out) + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(bench, f, indent=1, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, out)
+
+    # The registry's reason to exist: the table kernels must beat the
+    # bit-serial loop on every spec, narrow and mixed-reflection ones
+    # included.
+    for name, per in rows.items():
+        assert per["slice8"] > per["bitwise"], name
 
 
 def test_sparse_poly_register_cost(benchmark, record):

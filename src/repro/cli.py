@@ -34,7 +34,6 @@ from repro import __version__
 from repro.analysis.polyinfo import report_for
 from repro.analysis.tables import render_table2
 from repro.crc.catalog import CATALOG, get_spec
-from repro.crc.engine import crc_bitwise
 from repro.gf2.poly import degree
 from repro.hd.breakpoints import hd_breakpoint_table
 from repro.hd.hamming import hamming_distance
@@ -326,15 +325,26 @@ def _run_simulated_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
 
 
 def cmd_crc(args: argparse.Namespace) -> int:
+    from repro.crc.backends import crc_compute
+
     spec = get_spec(args.name)
     data = bytes.fromhex(args.hex)
-    print(f"{spec.name}({args.hex}) = {crc_bitwise(spec, data):#0{spec.width // 4 + 2}x}")
+    value = crc_compute(spec, data, backend=args.engine)
+    print(f"{spec.name}({args.hex}) = {value:#0{spec.width // 4 + 2}x}")
     return 0
 
 
 def cmd_catalog(args: argparse.Namespace) -> int:
     for name, spec in sorted(CATALOG.items()):
         print(spec)
+    return 0
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    from repro.crc.backends import available_backends
+
+    for name, spec in sorted(CATALOG.items()):
+        print(f"{name}: {', '.join(available_backends(spec))}")
     return 0
 
 
@@ -489,10 +499,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("crc", help="compute a catalog CRC over hex bytes")
     p.add_argument("name", choices=sorted(CATALOG))
     p.add_argument("--hex", required=True)
+    p.add_argument("--engine", default="auto",
+                   help="kernel backend (auto, bitwise, bytewise, slice4, "
+                        "slice8, wordwise; default auto)")
     p.set_defaults(fn=cmd_crc)
 
     p = sub.add_parser("catalog", help="list known CRC algorithms")
     p.set_defaults(fn=cmd_catalog)
+
+    p = sub.add_parser("backends",
+                       help="list generated kernel backends per catalog spec")
+    p.set_defaults(fn=cmd_backends)
 
     p = sub.add_parser("stacked", parents=[notation],
                        help="joint HD of a link+app CRC stack")
@@ -532,7 +549,13 @@ def main(argv: list[str] | None = None) -> int:
                 setattr(args, dest, parse_poly(raw, notation))
             except argparse.ArgumentTypeError as exc:
                 parser.error(str(exc))
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away mid-listing (e.g. `repro backends | head`);
+        # reopen it on devnull so interpreter shutdown doesn't traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,7 +1,8 @@
 """CRC computation substrate.
 
 Implements parameterized CRC calculation the way real network stacks
-do -- bit-serial, table-driven, and slice-by-4 engines over a common
+do -- a bit-serial reference plus per-spec *generated* table,
+slice-by-N and numpy kernels (:mod:`repro.crc.backends`) over a common
 :class:`~repro.crc.spec.CRCSpec` -- plus Frame Check Sequence (FCS)
 handling and codeword membership tests.
 
@@ -17,8 +18,17 @@ from repro.crc.engine import (
     crc_bitwise,
     crc_table,
     crc_slice4,
+    crc_slice8,
     make_table,
     BitSerialRegister,
+)
+from repro.crc.backends import (
+    BackendMismatch,
+    available_backends,
+    crc_compute,
+    get_kernel,
+    kernels_for,
+    register_backend,
 )
 from repro.crc.codeword import (
     append_fcs,
@@ -40,8 +50,15 @@ __all__ = [
     "crc_bitwise",
     "crc_table",
     "crc_slice4",
+    "crc_slice8",
     "make_table",
     "BitSerialRegister",
+    "BackendMismatch",
+    "available_backends",
+    "crc_compute",
+    "get_kernel",
+    "kernels_for",
+    "register_backend",
     "append_fcs",
     "check_fcs",
     "is_codeword",

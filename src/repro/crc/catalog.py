@@ -100,6 +100,34 @@ CATALOG: dict[str, CRCSpec] = {
         refout=True,
         check=0xA1,
     ),
+    # Narrower than a byte AND reflected: the combination that exposed
+    # the seed's StreamingCrc orientation bug (reflected register
+    # advanced through the normal-orientation reference, output
+    # reflection skipped).  USB token CRC.
+    "CRC-5/USB": CRCSpec(
+        name="CRC-5/USB",
+        width=5,
+        poly=0x05,
+        init=0x1F,
+        refin=True,
+        refout=True,
+        xorout=0x1F,
+        check=0x19,
+    ),
+    # The only deployed-catalog entry with refin != refout: 3GPP TS
+    # 25.212 attaches the CRC MSB-first but transmits it bit-reversed,
+    # so the conditional reflection in dress/undress and the
+    # engine-orientation handoffs cannot go untested.
+    "CRC-12/UMTS": CRCSpec(
+        name="CRC-12/UMTS",
+        width=12,
+        poly=0x80F,
+        init=0x000,
+        refin=False,
+        refout=True,
+        xorout=0x000,
+        check=0xDAF,
+    ),
 }
 
 

@@ -86,6 +86,15 @@ class CRCSpec:
         return 1 << (self.width - 1)
 
     @property
+    def kernel_key(self) -> tuple[int, int, bool]:
+        """``(width, poly, refin)`` -- the part of the spec that
+        determines the raw register recurrence.  Generated kernels
+        (:mod:`repro.crc.backends`) are cached under this key: specs
+        differing only in ``init``/``refout``/``xorout`` (presentation
+        constants applied outside the inner loop) share kernels."""
+        return (self.width, self.poly, self.refin)
+
+    @property
     def full_poly(self) -> int:
         """Generator with the implicit ``x**width`` term made explicit,
         as used by :mod:`repro.gf2` and :mod:`repro.hd`."""

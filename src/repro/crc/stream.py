@@ -6,7 +6,14 @@ CRCs incrementally, splice pre-computed CRCs of fragments together
 header rewrites.  This module provides those operations for any
 :class:`~repro.crc.spec.CRCSpec`:
 
-* :class:`StreamingCrc` -- the classic ``update()/digest()`` interface;
+* :class:`StreamingCrc` -- the classic ``update()/digest()`` interface,
+  running on a generated registry kernel
+  (:mod:`repro.crc.backends`) rather than its own copy of the inner
+  loop.  (The seed's hand-copied narrow-path loop held a real
+  orientation bug: reflected specs with ``width < 8`` stored the
+  register in reflected orientation but advanced it through the
+  *normal*-orientation reference, then skipped the output reflection
+  entirely -- wrong CRCs for any non-palindromic register.)
 * :func:`crc_combine` -- zlib-style ``crc32_combine``: merge
   ``crc(A)`` and ``crc(B)`` into ``crc(A || B)`` in O(log len(B))
   using GF(2) matrix exponentiation of the shift operator;
@@ -16,15 +23,26 @@ header rewrites.  This module provides those operations for any
   and the combine trick share it.
 
 All operations agree bit-for-bit with one-shot computation
-(property-tested in ``tests/crc/test_stream.py``).
+(property-tested in ``tests/crc/test_stream.py`` and
+``tests/crc/test_backends.py``).  The engine-orientation conventions
+-- what "raw register" means per spec, and how init/refout/xorout
+dress it -- live in :mod:`repro.crc.backends`; this module only adds
+the linear-algebra layer on top.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.crc.engine import _reflect, crc_bitwise, crc_table
+from repro.crc.backends import dress, engine_init, get_kernel, undress
+from repro.crc.engine import _reflect
 from repro.crc.spec import CRCSpec
+
+# Engine-orientation helpers: single implementation in backends; the
+# old private names remain as aliases for the linear-algebra callers.
+_engine_init = engine_init
+_dress = dress
+_undress = undress
 
 Matrix = tuple[int, ...]  # column-major: matrix[i] = column i as a bitmask
 
@@ -96,26 +114,6 @@ def advance(spec: CRCSpec, register: int, zero_bits: int) -> int:
     return mat_vec(op, register)
 
 
-def _engine_init(spec: CRCSpec) -> int:
-    """The initial register value in engine orientation."""
-    return _reflect(spec.init, spec.width) if spec.refin else spec.init
-
-
-def _undress(spec: CRCSpec, crc: int) -> int:
-    """Invert xorout/refout to recover the engine-orientation register."""
-    register = crc ^ spec.xorout
-    if spec.refout != spec.refin:
-        register = _reflect(register, spec.width)
-    return register
-
-
-def _dress(spec: CRCSpec, register: int) -> int:
-    """Apply refout/xorout to an engine-orientation register."""
-    if spec.refout != spec.refin:
-        register = _reflect(register, spec.width)
-    return register ^ spec.xorout
-
-
 def crc_combine(spec: CRCSpec, crc_a: int, crc_b: int, len_b_bytes: int) -> int:
     """CRC of the concatenation ``A || B`` from ``crc(A)``, ``crc(B)``
     and ``len(B)`` -- without touching the data (zlib's
@@ -127,6 +125,7 @@ def crc_combine(spec: CRCSpec, crc_a: int, crc_b: int, len_b_bytes: int) -> int:
     ``raw(A||B) = L(raw_A) ^ raw_B ^ L(init)``.
 
     >>> from repro.crc.catalog import get_spec
+    >>> from repro.crc.engine import crc_bitwise
     >>> s = get_spec("CRC-32/IEEE-802.3")
     >>> crc_combine(s, crc_bitwise(s, b"hello "), crc_bitwise(s, b"world"), 5) \\
     ...     == crc_bitwise(s, b"hello world")
@@ -136,18 +135,24 @@ def crc_combine(spec: CRCSpec, crc_a: int, crc_b: int, len_b_bytes: int) -> int:
         raise ValueError("negative length")
     if len_b_bytes == 0:
         return crc_a
-    raw_a = _undress(spec, crc_a)
-    raw_b = _undress(spec, crc_b)
+    raw_a = undress(spec, crc_a)
+    raw_b = undress(spec, crc_b)
     combined = (
         advance(spec, raw_a, 8 * len_b_bytes)
         ^ raw_b
-        ^ advance(spec, _engine_init(spec), 8 * len_b_bytes)
+        ^ advance(spec, engine_init(spec), 8 * len_b_bytes)
     )
-    return _dress(spec, combined)
+    return dress(spec, combined)
 
 
 class StreamingCrc:
     """Incremental CRC with the familiar update()/digest() shape.
+
+    The state is one raw engine-orientation register advanced by a
+    generated registry kernel -- the same kernels the one-shot facades
+    use, so the streaming path cannot drift from them.  ``backend``
+    selects the kernel by registry name (default: the registry's
+    table-driven default).
 
     ``digest()`` may be called at any point; the stream can continue
     afterwards.  ``copy()`` forks the state (useful for trial
@@ -161,55 +166,25 @@ class StreamingCrc:
     True
     """
 
-    def __init__(self, spec: CRCSpec) -> None:
+    def __init__(self, spec: CRCSpec, backend: str = "auto") -> None:
         self.spec = spec
-        self._register = (
-            _reflect(spec.init, spec.width) if spec.refin else spec.init
-        )
+        self._process = get_kernel(spec, backend).process
+        self._register = engine_init(spec)
         self.length = 0
 
     def update(self, data: bytes) -> None:
         """Absorb more message bytes."""
-        spec = self.spec
-        if spec.width < 8:
-            # keep narrow CRCs on the bit-serial path
-            plain = CRCSpec(
-                name=spec.name, width=spec.width, poly=spec.poly,
-                init=self._register, refin=spec.refin,
-            )
-            raw = crc_bitwise(plain, data)
-            self._register = raw
-            self.length += len(data)
-            return
-        from repro.crc.engine import make_table
-
-        table = make_table(spec.width, spec.poly, spec.refin)
-        register = self._register
-        if spec.refin:
-            for byte in data:
-                register = (register >> 8) ^ table[(register ^ byte) & 0xFF]
-        else:
-            shift = spec.width - 8
-            mask = spec.mask
-            for byte in data:
-                register = ((register << 8) & mask) ^ table[
-                    ((register >> shift) ^ byte) & 0xFF
-                ]
-        self._register = register
+        self._register = self._process(self._register, data)
         self.length += len(data)
 
     def digest(self) -> int:
         """CRC of everything absorbed so far."""
-        spec = self.spec
-        register = self._register
-        if spec.refin and not spec.refout:
-            register = _reflect(register, spec.width)
-        elif spec.refout and not spec.refin:
-            register = _reflect(register, spec.width)
-        return register ^ spec.xorout
+        return dress(self.spec, self._register)
 
     def copy(self) -> "StreamingCrc":
-        clone = StreamingCrc(self.spec)
+        clone = StreamingCrc.__new__(StreamingCrc)
+        clone.spec = self.spec
+        clone._process = self._process
         clone._register = self._register
         clone.length = self.length
         return clone

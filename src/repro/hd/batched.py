@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.crc.backends import lfsr_sweep_batched
 from repro.hd.cost import EnvelopeError
 
 #: Elements of pair-XOR workspace materialized at once by the
@@ -136,33 +137,11 @@ def syndrome_tables_batched(gs, n_positions: int) -> np.ndarray:
     return out
 
 
-def _advance(
-    out: np.ndarray,
-    acc: np.ndarray,
-    g_arr: np.ndarray,
-    r: int,
-    start: int,
-    stop: int,
-) -> None:
-    """Fill ``out[:, start:stop]`` from ``acc`` (the syndrome at
-    position ``start``), advancing ``acc`` one step per column.
-
-    The recurrence is branch-free: shifting left may set bit ``r``;
-    when it does, XOR-ing the full generator clears it and applies the
-    feedback taps in the same operation (``g`` fits uint64 for
-    ``r <= 63``).
-    """
-    r_u = np.uint64(r)
-    one = np.uint64(1)
-    tmp = np.empty_like(acc)
-    for i in range(start, stop):
-        out[:, i] = acc
-        np.left_shift(acc, one, out=acc)
-        # After the shift the only bit at or above r is bit r itself,
-        # so the feedback predicate needs no mask.
-        np.right_shift(acc, r_u, out=tmp)
-        np.multiply(tmp, g_arr, out=tmp)
-        np.bitwise_xor(acc, tmp, out=acc)
+#: The vectorized LFSR recurrence itself lives in the backend registry
+#: (:func:`repro.crc.backends.lfsr_sweep_batched`) -- the syndrome
+#: builder and the CRC kernel codegen share one implementation of the
+#: raw MSB-first register step.
+_advance = lfsr_sweep_batched
 
 
 def extend_syndrome_tables(gs, tables: np.ndarray, new_len: int) -> np.ndarray:

@@ -1,0 +1,270 @@
+"""Differential tests for the generated kernel registry.
+
+Every registered backend of every catalog spec must agree with the
+bit-serial reference -- on the published check vectors, on random data
+split at random chunk boundaries (including empty fragments), and
+through ``StreamingCrc`` / ``crc_combine``.  Plus a regression test
+that reproduces the seed's narrow-reflected ``StreamingCrc``
+orientation bug against the exact old update/digest logic.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crc.backends import (
+    BackendMismatch,
+    Kernel,
+    available_backends,
+    crc_compute,
+    dress,
+    engine_init,
+    get_kernel,
+    kernels_for,
+    register_backend,
+    undress,
+    _BUILDERS,
+    _KERNELS,
+)
+from repro.crc.catalog import CATALOG
+from repro.crc.engine import _reflect, crc_bitwise
+from repro.crc.spec import CRCSpec
+from repro.crc.stream import StreamingCrc, crc_combine
+
+SPEC_IDS = sorted(CATALOG)
+
+# Backends every environment must provide (wordwise additionally
+# appears when numpy is importable; CI has numpy, so the identity gate
+# in tools/backend_gate.py covers it there).
+CORE_BACKENDS = ("bitwise", "bytewise", "slice4", "slice8")
+
+
+# ---------------------------------------------------------------------------
+# check vectors, every backend x every catalog spec
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", SPEC_IDS)
+def test_every_backend_matches_check_vector(name):
+    spec = CATALOG[name]
+    for backend in available_backends(spec):
+        assert crc_compute(spec, b"123456789", backend=backend) == spec.check, backend
+
+
+@pytest.mark.parametrize("name", SPEC_IDS)
+def test_core_backends_present(name):
+    assert set(CORE_BACKENDS) <= set(available_backends(CATALOG[name]))
+
+
+# ---------------------------------------------------------------------------
+# hypothesis differential suite: random data at random chunk boundaries
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def chunked_message(draw):
+    """A message plus a chunking of it into fragments, some empty."""
+    data = draw(st.binary(min_size=0, max_size=300))
+    cuts = draw(
+        st.lists(st.integers(min_value=0, max_value=len(data)), max_size=6)
+    )
+    bounds = [0, *sorted(cuts), len(data)]
+    chunks = [data[a:b] for a, b in zip(bounds, bounds[1:])]
+    return data, chunks
+
+
+class TestDifferential:
+    @given(st.sampled_from(SPEC_IDS), chunked_message())
+    @settings(max_examples=200, deadline=None)
+    def test_streaming_equals_reference_equals_backends(self, name, msg):
+        spec = CATALOG[name]
+        data, chunks = msg
+        ref = crc_bitwise(spec, data)
+        for backend in available_backends(spec):
+            assert crc_compute(spec, data, backend=backend) == ref, backend
+        h = StreamingCrc(spec)
+        for chunk in chunks:
+            h.update(chunk)
+        assert h.digest() == ref
+        assert h.length == len(data)
+
+    @given(
+        st.sampled_from(SPEC_IDS),
+        st.binary(max_size=120),
+        st.binary(max_size=120),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_combine_equals_one_shot(self, name, a, b):
+        spec = CATALOG[name]
+        combined = crc_combine(
+            spec, crc_bitwise(spec, a), crc_bitwise(spec, b), len(b)
+        )
+        assert combined == crc_bitwise(spec, a + b)
+
+    @given(st.sampled_from(SPEC_IDS), st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_kernels_restartable_mid_buffer(self, name, data):
+        spec = CATALOG[name]
+        for kernel in kernels_for(spec).values():
+            start = engine_init(spec)
+            mid = kernel.process(start, data[: len(data) // 2])
+            assert kernel.process(mid, data[len(data) // 2:]) == kernel.process(
+                start, data
+            ), kernel.name
+
+
+# ---------------------------------------------------------------------------
+# refin != refout (CRC-12/UMTS is the only catalog entry)
+# ---------------------------------------------------------------------------
+
+
+class TestMixedReflection:
+    def test_catalog_has_mixed_reflection_entry(self):
+        assert any(s.refin != s.refout for s in CATALOG.values())
+
+    def test_umts_streaming_digest(self):
+        spec = CATALOG["CRC-12/UMTS"]
+        assert spec.refin != spec.refout
+        h = StreamingCrc(spec)
+        h.update(b"1234")
+        h.update(b"56789")
+        assert h.digest() == spec.check == 0xDAF
+
+    def test_umts_combine(self):
+        spec = CATALOG["CRC-12/UMTS"]
+        a, b = b"header", b"payload!"
+        assert crc_combine(
+            spec, crc_bitwise(spec, a), crc_bitwise(spec, b), len(b)
+        ) == crc_bitwise(spec, a + b)
+
+    def test_dress_undress_round_trip(self):
+        for spec in CATALOG.values():
+            for raw in (0, spec.mask, 0x5C17_93A6 & spec.mask):
+                assert undress(spec, dress(spec, raw)) == raw
+
+
+# ---------------------------------------------------------------------------
+# regression: the seed's narrow-reflected StreamingCrc bug
+# ---------------------------------------------------------------------------
+
+
+def _seed_streaming_digest(spec: CRCSpec, chunks) -> int:
+    """The seed repo's StreamingCrc update/digest logic, verbatim, for
+    the width < 8 path: the (already reflected) stored register was
+    passed as ``init`` to a normal-presentation ``crc_bitwise`` spec,
+    and ``digest`` skipped the output reflection whenever
+    ``refin == refout``."""
+    register = _reflect(spec.init, spec.width) if spec.refin else spec.init
+    for data in chunks:
+        plain = CRCSpec(
+            name=spec.name, width=spec.width, poly=spec.poly,
+            init=register, refin=spec.refin,
+        )
+        register = crc_bitwise(plain, data)
+    if spec.refin != spec.refout:
+        register = _reflect(register, spec.width)
+    return register ^ spec.xorout
+
+
+class TestNarrowReflectedRegression:
+    def test_seed_logic_was_wrong_on_crc5_usb(self):
+        spec = CATALOG["CRC-5/USB"]
+        assert spec.width < 8 and spec.refin and spec.refout
+        assert _seed_streaming_digest(spec, [b"123456789"]) != spec.check
+
+    def test_new_streaming_is_right_on_crc5_usb(self):
+        spec = CATALOG["CRC-5/USB"]
+        h = StreamingCrc(spec)
+        for chunk in (b"123", b"", b"456789"):
+            h.update(chunk)
+        assert h.digest() == spec.check == 0x19
+
+    @given(st.binary(min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_seed_and_new_agree_only_when_register_palindromic(self, data):
+        # The old logic happens to survive inputs whose running register
+        # is a 5-bit palindrome; the new path must match the reference
+        # everywhere.
+        spec = CATALOG["CRC-5/USB"]
+        h = StreamingCrc(spec)
+        h.update(data)
+        assert h.digest() == crc_bitwise(spec, data)
+
+
+# ---------------------------------------------------------------------------
+# registry mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_kernel_cache_shared_across_presentation(self):
+        # Same (width, poly, refin), different init/refout/xorout:
+        # one kernel object.
+        ieee = CATALOG["CRC-32/IEEE-802.3"]
+        twin = CRCSpec(name="twin", width=32, poly=0x04C11DB7, refin=True)
+        assert ieee.kernel_key == twin.kernel_key
+        assert get_kernel(ieee, "slice8") is get_kernel(twin, "slice8")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="no 'nope' backend"):
+            get_kernel(CATALOG["CRC-8/ATM-HEC"], "nope")
+
+    def test_generated_source_is_kept(self):
+        kernel = get_kernel(CATALOG["CRC-32/IEEE-802.3"], "slice4")
+        assert "def _process" in kernel.source
+
+    def test_auto_selects_a_table_kernel(self):
+        spec = CATALOG["CRC-16/ARC"]
+        assert get_kernel(spec, "auto").name in ("slice8", "bytewise")
+
+    def test_bad_backend_rejected_at_construction(self):
+        # A kernel that computes the wrong thing must never be served.
+        def broken_builder(width, poly, refin):
+            return Kernel("broken", lambda reg, data: reg ^ 1, "# broken")
+
+        register_backend("broken", broken_builder)
+        try:
+            with pytest.raises(BackendMismatch):
+                kernels_for(CATALOG["CRC-8/ATM-HEC"])
+        finally:
+            del _BUILDERS["broken"]
+            _KERNELS.clear()
+        # registry recovers once the bad builder is gone
+        assert "slice8" in available_backends(CATALOG["CRC-8/ATM-HEC"])
+
+    def test_narrow_specs_have_slice_kernels(self):
+        # The point of codegen: width-5 reflected and width-12 mixed
+        # specs get the same fast paths as CRC-32.
+        for name in ("CRC-5/USB", "CRC-12/UMTS"):
+            assert {"slice4", "slice8"} <= set(available_backends(CATALOG[name]))
+
+
+# ---------------------------------------------------------------------------
+# wordwise (numpy) kernel specifics
+# ---------------------------------------------------------------------------
+
+np = pytest.importorskip("numpy")
+
+
+class TestWordwise:
+    @pytest.mark.parametrize("name", SPEC_IDS)
+    def test_long_buffer_matches_reference(self, name):
+        spec = CATALOG[name]
+        data = bytes((i * 89 + 17) & 0xFF for i in range(3000))
+        assert crc_compute(spec, data, backend="wordwise") == crc_bitwise(spec, data)
+
+    def test_auto_cutover_uses_wordwise_result(self):
+        spec = CATALOG["CRC-32C/Castagnoli"]
+        data = bytes(1024)
+        assert crc_compute(spec, data) == crc_bitwise(spec, data)
+
+    def test_non_power_of_two_lengths(self):
+        spec = CATALOG["CRC-32/IEEE-802.3"]
+        kernel = get_kernel(spec, "wordwise")
+        for n in (1, 2, 3, 5, 255, 256, 257, 1000):
+            data = bytes((i * 7 + n) & 0xFF for i in range(n))
+            assert kernel.process(engine_init(spec), data) == get_kernel(
+                spec, "bitwise"
+            ).process(engine_init(spec), data)

@@ -1,8 +1,9 @@
 """Engine equivalence and check-value tests.
 
-The three engines (bit-serial, table, slice-by-4) must agree bit for
-bit on every spec and input -- property-tested -- and match the
-published check values for deployed CRCs (independent ground truth).
+The engines (bit-serial reference plus the generated table and
+slice-by-N facades) must agree bit for bit on every spec and input --
+property-tested -- and match the published check values for deployed
+CRCs (independent ground truth).
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from repro.crc.engine import (
     crc_bits,
     crc_bitwise,
     crc_slice4,
+    crc_slice8,
     crc_table,
     make_table,
 )
@@ -39,6 +41,10 @@ class TestCheckValues:
         spec = CATALOG[name]
         assert crc_slice4(spec, b"123456789") == spec.check
 
+    def test_slice8(self, name):
+        spec = CATALOG[name]
+        assert crc_slice8(spec, b"123456789") == spec.check
+
 
 class TestEngineEquivalence:
     @given(st.sampled_from(SPEC_IDS), st.binary(min_size=0, max_size=200))
@@ -48,6 +54,7 @@ class TestEngineEquivalence:
         ref = crc_bitwise(spec, data)
         assert crc_table(spec, data) == ref
         assert crc_slice4(spec, data) == ref
+        assert crc_slice8(spec, data) == ref
 
     @given(st.binary(min_size=0, max_size=64))
     def test_bits_vs_bytes(self, data):
@@ -75,8 +82,12 @@ class TestTableConstruction:
             assert t[a ^ b] == t[a] ^ t[b]
 
     def test_narrow_width_rejected(self):
+        # Both orientations: the seed raised only for the normal branch
+        # and silently built a width-5 reflected table.
         with pytest.raises(ValueError):
             make_table(5, 0x05, False)
+        with pytest.raises(ValueError):
+            make_table(5, 0x05, True)
 
 
 class TestLinearityOfCrc:
