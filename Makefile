@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-all verify docs-check chaos-smoke bench bench-smoke backend-gate bench-full repro examples clean
+.PHONY: install test test-all verify docs-check chaos-smoke bench bench-smoke backend-gate service-smoke bench-full repro examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -52,6 +52,12 @@ bench-smoke:
 # catalog spec must agree with the bit-serial reference, end to end.
 backend-gate:
 	PYTHONPATH=src $(PY) tools/backend_gate.py
+
+# Serving-layer gate: spawn `repro serve-crc` on a loopback port,
+# run a scripted NDJSON session (every op + error paths), SIGTERM it,
+# and assert the drain events and metrics counters.  docs/SERVICE.md.
+service-smoke:
+	$(PY) tools/service_smoke.py
 
 bench-full:
 	REPRO_FULL=1 $(PY) -m pytest benchmarks/ --benchmark-only

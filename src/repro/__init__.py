@@ -48,11 +48,12 @@ from repro.analysis import report_for, render_table1, render_table2
 from repro.gf2.ring import GF2Poly
 from repro.crc.stream import StreamingCrc, crc_combine
 from repro.network.stacked import stacked_hd
+from repro.service import AdviceStore, CrcSession, residue_value
 
 # The single source of truth for the release version: pyproject.toml
 # declares ``version`` dynamic and reads this attribute at build time,
 # and the CLI's ``--version`` prints it.  Bump here and nowhere else.
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "koopman_to_full",
@@ -83,5 +84,8 @@ __all__ = [
     "StreamingCrc",
     "crc_combine",
     "stacked_hd",
+    "AdviceStore",
+    "CrcSession",
+    "residue_value",
     "__version__",
 ]

@@ -367,6 +367,48 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_crc(args: argparse.Namespace) -> int:
+    from repro.obs import metrics as obs_metrics
+    from repro.service.advice import AdviceStore
+    from repro.service.server import CrcService, ServiceServer
+
+    store = AdviceStore(
+        args.cache or None, hd_max=args.hd_max, n_max=args.n_max
+    )
+    if args.warm or args.warm_only:
+        computed = store.warm(
+            progress=lambda msg: print(msg, file=sys.stderr, flush=True)
+        )
+        print(
+            f"advice cache warm: {len(store.entries)} tables "
+            f"({computed} computed) at {store.path or '<memory>'}",
+            file=sys.stderr,
+        )
+        if args.warm_only:
+            return 0
+    registry = obs_metrics.MetricsRegistry() if args.metrics else None
+    if registry is not None:
+        obs_metrics.install(registry)
+    try:
+        with _open_events(args.events) as events:
+            service = CrcService(
+                store,
+                metrics=registry or obs_metrics.NULL_METRICS,
+                compute_on_miss=not args.no_compute,
+            )
+            server = ServiceServer(
+                service,
+                host=args.host,
+                port=args.port,
+                drain_grace=args.drain_grace,
+                events=events,
+            )
+            return server.run(stdio=args.stdio)
+    finally:
+        if registry is not None:
+            obs_metrics.uninstall()
+
+
 def cmd_best(args: argparse.Namespace) -> int:
     from repro.search.optimize import best_for_length
 
@@ -527,6 +569,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-max", type=int, default=1200)
     p.add_argument("--hd-max", type=int, default=8)
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("serve-crc", parents=[observability],
+                       help="CRC-as-a-service: NDJSON verify/checksum/"
+                            "advise/hd over TCP or stdio")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind address (default loopback)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port; 0 (default) binds an ephemeral port, "
+                        "announced as `service.listening host=H port=P` "
+                        "on stdout")
+    p.add_argument("--stdio", action="store_true",
+                   help="serve stdin/stdout instead of TCP (requests on "
+                        "stdin, responses on stdout, logs on stderr)")
+    p.add_argument("--cache", default="results/advice_cache.json",
+                   metavar="PATH",
+                   help="advice-cache JSON file (loaded if present, "
+                        "updated on demand); '' keeps the store "
+                        "in-memory only")
+    p.add_argument("--warm", action="store_true",
+                   help="precompute breakpoint tables for the paper + "
+                        "catalog polynomials before serving (persisted "
+                        "to --cache)")
+    p.add_argument("--warm-only", action="store_true",
+                   help="warm the cache and exit without serving")
+    p.add_argument("--hd-max", type=int, default=6,
+                   help="warm envelope: highest error weight per table")
+    p.add_argument("--n-max", type=int, default=2048,
+                   help="warm envelope: longest data word (bits) per table")
+    p.add_argument("--no-compute", action="store_true",
+                   help="answer `hd` only from cache: misses become "
+                        "'uncached' errors instead of running the exact "
+                        "(MITM) search in-request")
+    p.add_argument("--drain-grace", type=float, default=5.0,
+                   help="seconds a SIGTERM/SIGINT drain waits for "
+                        "in-flight requests before closing connections")
+    p.set_defaults(fn=cmd_serve_crc)
 
     p = sub.add_parser("best", help="best polynomial for a message length")
     p.add_argument("--width", type=int, default=8)

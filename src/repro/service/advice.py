@@ -1,0 +1,366 @@
+"""Precomputed CRC-selection advice with a persistent JSON cache.
+
+The service front end must answer "which polynomial for length L?" and
+"what HD does P give at L?" at request rates -- but the underlying
+truth (:mod:`repro.hd.breakpoints`) costs seconds-to-minutes per
+polynomial.  The split here is the classic serve-from-materialized-view
+design:
+
+* **Warm path.**  :meth:`AdviceStore.warm` computes one exact
+  breakpoint table (a Table 1 column: first-failure length per error
+  weight) per polynomial and persists all of them as one JSON document
+  (default ``results/advice_cache.json``, committed to the repo).
+  Answering from a table is dict arithmetic -- no MITM search ever
+  runs on the hot path for covered ``(poly, length)`` pairs.
+* **Miss path.**  An ``hd`` query outside every cached table falls
+  back to :func:`repro.hd.hamming.hamming_distance` (exact,
+  MITM-backed), and the point answer is persisted too, so a miss is
+  paid at most once per cache file.
+* **Beyond the verified horizon.**  For lengths past a table's
+  ``n_max``, the paper's own claimed Table 1 bands
+  (:data:`repro.crc.catalog.PAPER_POLYS`) answer ``advise`` queries
+  with ``source="paper"`` -- the published ground truth, clearly
+  labeled as such rather than silently mixed with measured cells.
+
+The default warm set is the paper's eight polynomials plus every
+distinct generator in the deployed-standards catalog, through
+``n_max=2048`` data-word bits at ``hd_max=6`` -- covering the Internet
+frame sizes the paper's §3 traffic mix is about.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.crc.catalog import CATALOG, PAPER_POLYS
+from repro.gf2.notation import full_to_koopman
+from repro.gf2.poly import degree
+from repro.hd.breakpoints import BreakpointTable, hd_breakpoint_table
+from repro.hd.cost import EnvelopeError
+from repro.hd.hamming import hamming_distance
+
+#: On-disk format tag; bump on incompatible changes.
+FORMAT = "repro-advice-cache/1"
+
+#: Default cache location, relative to the working directory (the
+#: repo's committed copy lives at exactly this path).
+DEFAULT_CACHE_PATH = os.path.join("results", "advice_cache.json")
+
+#: Default warm envelope: weights 2..6, data-word lengths through 2048
+#: bits -- every Internet-frame regime of the paper's §3 mix.
+DEFAULT_HD_MAX = 6
+DEFAULT_N_MAX = 2048
+
+
+@dataclass(frozen=True)
+class AdviceEntry:
+    """One cached breakpoint table (a Table 1 column), serializable.
+
+    ``first_failure[k]`` is the exact first data-word length at which
+    some weight-``k`` error goes undetected (``None`` = none found);
+    ``cleared[k]`` is the length through which a failure-free weight
+    is *verified* (only recorded when smaller than ``n_max``).
+    """
+
+    g: int
+    label: str
+    n_max: int
+    hd_max: int
+    first_failure: dict[int, int | None]
+    cleared: dict[int, int]
+
+    @property
+    def width(self) -> int:
+        return degree(self.g)
+
+    @property
+    def table(self) -> BreakpointTable:
+        return BreakpointTable(
+            g=self.g,
+            n_max=self.n_max,
+            first_failure=dict(self.first_failure),
+            cleared=dict(self.cleared),
+        )
+
+    @classmethod
+    def from_table(cls, table: BreakpointTable, label: str) -> "AdviceEntry":
+        return cls(
+            g=table.g,
+            label=label,
+            n_max=table.n_max,
+            hd_max=max(table.first_failure),
+            first_failure=dict(table.first_failure),
+            cleared=dict(table.cleared),
+        )
+
+    def hd_info(self, n: int) -> tuple[int, bool]:
+        """``(hd, exact)`` at data-word length ``n <= n_max``.
+
+        ``exact=False`` means ``hd`` is a verified *lower bound*: either
+        every tested weight cleared (true HD may exceed ``hd_max``) or
+        an envelope-capped weight prevents an exact statement at this
+        length (then ``hd`` is the smallest unverified weight).
+        """
+        table = self.table
+        try:
+            value = table.hd_at(n)
+        except EnvelopeError:
+            capped = [
+                k
+                for k, fn in self.first_failure.items()
+                if fn is None and self.cleared.get(k, self.n_max) < n
+            ]
+            return min(capped), False
+        return value, value <= self.hd_max
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "poly": f"{self.g:#x}",
+            "label": self.label,
+            "n_max": self.n_max,
+            "hd_max": self.hd_max,
+            "first_failure": {str(k): v for k, v in self.first_failure.items()},
+            "cleared": {str(k): v for k, v in self.cleared.items()},
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "AdviceEntry":
+        return cls(
+            g=int(d["poly"], 16),
+            label=d["label"],
+            n_max=int(d["n_max"]),
+            hd_max=int(d["hd_max"]),
+            first_failure={
+                int(k): (None if v is None else int(v))
+                for k, v in d["first_failure"].items()
+            },
+            cleared={int(k): int(v) for k, v in d["cleared"].items()},
+        )
+
+
+def default_polys() -> dict[int, str]:
+    """The standard warm set: the paper's eight 32-bit generators plus
+    every distinct generator polynomial in the deployed catalog, keyed
+    by full encoding."""
+    polys: dict[int, str] = {}
+    for pp in PAPER_POLYS.values():
+        polys[pp.full] = pp.label
+    for name, spec in sorted(CATALOG.items()):
+        polys.setdefault(spec.full_poly, name)
+    return polys
+
+
+class AdviceStore:
+    """Breakpoint-table cache answering selection queries from memory.
+
+    ``path=None`` keeps the store purely in-memory (tests, embedding);
+    otherwise the file is loaded if present and every mutation
+    (``warm``, an on-demand ``hd`` computation) is persisted back
+    atomically.
+    """
+
+    def __init__(
+        self,
+        path: str | None = DEFAULT_CACHE_PATH,
+        *,
+        hd_max: int = DEFAULT_HD_MAX,
+        n_max: int = DEFAULT_N_MAX,
+        autosave: bool = True,
+    ) -> None:
+        self.path = path
+        self.hd_max = hd_max
+        self.n_max = n_max
+        self.autosave = autosave
+        self.entries: dict[int, AdviceEntry] = {}
+        #: Point answers from on-demand computations: {(g, n): hd}.
+        self.points: dict[tuple[int, int], int] = {}
+        self._paper_by_full = {pp.full: pp for pp in PAPER_POLYS.values()}
+        if path is not None and os.path.exists(path):
+            self.load()
+
+    # -- persistence ---------------------------------------------------
+
+    def load(self) -> None:
+        """(Re)load the cache file at :attr:`path`."""
+        assert self.path is not None
+        with open(self.path, encoding="utf-8") as f:
+            doc = json.load(f)
+        if doc.get("format") != FORMAT:
+            raise ValueError(
+                f"{self.path}: not an advice cache "
+                f"(format {doc.get('format')!r}, want {FORMAT!r})"
+            )
+        self.entries = {
+            entry.g: entry
+            for entry in (AdviceEntry.from_json(e) for e in doc["entries"])
+        }
+        self.points = {}
+        for key, hd in doc.get("points", {}).items():
+            poly_hex, _, n_str = key.partition("@")
+            self.points[(int(poly_hex, 16), int(n_str))] = int(hd)
+
+    def save(self) -> None:
+        """Atomically persist the cache (tmp file + rename)."""
+        if self.path is None:
+            return
+        doc = {
+            "format": FORMAT,
+            "entries": [
+                self.entries[g].to_json() for g in sorted(self.entries)
+            ],
+            "points": {
+                f"{g:#x}@{n}": hd
+                for (g, n), hd in sorted(self.points.items())
+            },
+        }
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(doc, f, indent=1, sort_keys=True)
+                f.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- warming -------------------------------------------------------
+
+    def warm(
+        self,
+        polys: dict[int, str] | None = None,
+        *,
+        progress: Callable[[str], None] | None = None,
+    ) -> int:
+        """Compute breakpoint tables for every polynomial in ``polys``
+        (default: :func:`default_polys`) not already cached at this
+        store's ``hd_max``/``n_max`` envelope, persist, and return the
+        number of tables computed."""
+        if polys is None:
+            polys = default_polys()
+        computed = 0
+        for g, label in polys.items():
+            have = self.entries.get(g)
+            if have is not None and have.n_max >= self.n_max and (
+                have.hd_max >= self.hd_max
+            ):
+                continue
+            if progress is not None:
+                progress(f"warming {g:#x} ({label}) ...")
+            table = hd_breakpoint_table(
+                g, hd_max=self.hd_max, n_max=self.n_max
+            )
+            self.entries[g] = AdviceEntry.from_table(table, label)
+            computed += 1
+        if computed and self.autosave:
+            self.save()
+        return computed
+
+    # -- queries -------------------------------------------------------
+
+    def hd(self, g: int, n: int, *, compute: bool = True) -> dict[str, Any]:
+        """HD of polynomial ``g`` (full encoding) at data-word length
+        ``n``, with provenance: ``source`` is ``"cache"`` when the
+        answer came from a precomputed table or point, ``"computed"``
+        when this call ran the exact (MITM) search -- which only
+        happens with ``compute=True``; otherwise a miss raises
+        ``KeyError`` so hot paths can *prove* they never search.
+
+        ``exact=False`` marks verified lower bounds (see
+        :meth:`AdviceEntry.hd_info`)."""
+        if n < 1:
+            raise ValueError("data-word length must be positive")
+        entry = self.entries.get(g)
+        if entry is not None and n <= entry.n_max:
+            value, exact = entry.hd_info(n)
+            if exact or not compute:
+                return {"hd": value, "exact": exact, "source": "cache"}
+        point = self.points.get((g, n))
+        if point is not None:
+            return {"hd": point, "exact": True, "source": "cache"}
+        if not compute:
+            raise KeyError(
+                f"no cached HD for {g:#x} at {n} bits (compute disabled)"
+            )
+        value = hamming_distance(g, n)
+        self.points[(g, n)] = value
+        if self.autosave:
+            self.save()
+        return {"hd": value, "exact": True, "source": "computed"}
+
+    def _row(self, entry: AdviceEntry, length: int) -> dict[str, Any] | None:
+        """One ``advise`` candidate row for a polynomial at a length,
+        from the verified table when it covers the length, from the
+        paper's claimed bands beyond it, else ``None``."""
+        if length <= entry.n_max:
+            value, exact = entry.hd_info(length)
+            source = "cache"
+        else:
+            paper = self._paper_by_full.get(entry.g)
+            if paper is None:
+                return None
+            value, exact, source = paper.hd_at(length), True, "paper"
+        row = {
+            "poly": f"{entry.g:#x}",
+            "label": entry.label,
+            "width": entry.width,
+            "hd": value,
+            "exact": exact,
+            "source": source,
+            "taps": entry.g.bit_count() - 2,  # feedback taps, paper-style
+        }
+        if entry.width == 32:
+            row["koopman"] = f"{full_to_koopman(entry.g):#x}"
+        return row
+
+    def advise(
+        self,
+        length: int,
+        *,
+        hd: int | None = None,
+        width: int | None = 32,
+        limit: int = 5,
+    ) -> dict[str, Any]:
+        """Rank the known polynomials for a data-word length.
+
+        ``hd`` keeps only candidates *verified or claimed* to reach
+        that Hamming distance at ``length``; ``width`` restricts the
+        field (default 32, the paper's design space; ``None`` = all
+        cached widths).  Candidates are ordered best-first: higher HD,
+        then fewer feedback taps (the paper's hardware-cost
+        criterion), then numeric value for determinism.  Each row
+        carries ``source`` (``"cache"`` = measured here, ``"paper"`` =
+        the published Table 1 claim past the verified horizon) and,
+        with ``hd``, ``max_length``: the largest length the cached
+        table verifies the target HD for.
+        """
+        if length < 1:
+            raise ValueError("data-word length must be positive")
+        rows = []
+        for g in sorted(self.entries):
+            entry = self.entries[g]
+            if width is not None and entry.width != width:
+                continue
+            row = self._row(entry, length)
+            if row is None:
+                continue
+            if hd is not None:
+                if row["hd"] < hd:
+                    continue
+                row["max_length"] = entry.table.max_length_for(hd)
+            rows.append(row)
+        rows.sort(key=lambda r: (-r["hd"], r["taps"], r["poly"]))
+        return {
+            "length": length,
+            "hd_target": hd,
+            "width": width,
+            "best": rows[0] if rows else None,
+            "candidates": rows[:limit],
+            "considered": len(rows),
+        }

@@ -1,0 +1,191 @@
+"""AdviceStore: warm/hit/miss/persistence, and the no-MITM guarantee.
+
+The store's contract is economic: exact breakpoint math is paid once
+(at warm time or first miss) and every later answer is a dictionary
+lookup.  The committed repo cache (``results/advice_cache.json``) is
+itself under test here -- the acceptance criterion says ``advise``
+must answer for every catalog polynomial at lengths 8..2048 without
+invoking the MITM search, which the last test proves by replacing
+:func:`repro.hd.hamming.hamming_distance` with a tripwire.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.service.advice as advice_mod
+from repro.crc.catalog import CATALOG, PAPER_POLYS
+from repro.service.advice import AdviceStore, default_polys
+
+G_8023 = PAPER_POLYS["802.3"].full
+G_KOOPMAN = PAPER_POLYS["BA0DC66B"].full
+
+REPO_CACHE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "results",
+    "advice_cache.json",
+)
+
+
+def small_store(path=None, **kwargs):
+    kwargs.setdefault("hd_max", 5)
+    kwargs.setdefault("n_max", 96)
+    return AdviceStore(path, **kwargs)
+
+
+def test_warm_computes_once_and_persists(tmp_path):
+    path = str(tmp_path / "cache.json")
+    store = small_store(path)
+    polys = {G_8023: "IEEE 802.3"}
+    assert store.warm(polys) == 1
+    assert store.warm(polys) == 0  # second warm is a no-op
+    assert os.path.exists(path)
+
+    reloaded = small_store(path)
+    assert G_8023 in reloaded.entries
+    # 802.3 holds HD >= 6 everywhere under 96 bits, so an hd_max=5
+    # table can only answer "at least 6" -- served from cache, inexact.
+    assert reloaded.hd(G_8023, 57, compute=False) == {
+        "hd": 6,
+        "exact": False,
+        "source": "cache",
+    }
+
+
+def test_hd_cache_hit_is_exact_and_computed_miss_is_persisted(tmp_path):
+    path = str(tmp_path / "cache.json")
+    store = small_store(path)
+    store.warm({G_8023: "IEEE 802.3"})
+    # Beyond n_max=96: a point miss, answered by the exact search ...
+    first = store.hd(G_8023, 150)
+    assert first == {"hd": 7, "exact": True, "source": "computed"}
+    # ... persisted, so the reloaded store serves it as a cache hit.
+    again = small_store(path)
+    assert again.hd(G_8023, 150) == {
+        "hd": 7,
+        "exact": True,
+        "source": "cache",
+    }
+
+
+def test_hd_compute_disabled_raises_on_miss():
+    store = small_store()
+    store.warm({G_8023: "IEEE 802.3"})
+    with pytest.raises(KeyError, match="no cached HD"):
+        store.hd(G_8023, 5000, compute=False)
+
+
+def test_hd_sentinel_band_is_a_lower_bound():
+    # At very short lengths the true HD exceeds the warm hd_max; the
+    # store must say "at least hd_max+1", flagged inexact, not lie.
+    store = small_store()
+    store.warm({G_8023: "IEEE 802.3"})
+    out = store.hd(G_8023, 9, compute=False)
+    assert out == {"hd": 6, "exact": False, "source": "cache"}
+
+
+def test_hd_rejects_nonpositive_length():
+    with pytest.raises(ValueError):
+        small_store().hd(G_8023, 0)
+
+
+def test_advise_ranks_by_hd_then_taps():
+    store = small_store()
+    store.warm(
+        {G_8023: "IEEE 802.3", G_KOOPMAN: "Koopman 0xBA0DC66B"}
+    )
+    out = store.advise(72)
+    assert out["considered"] == 2
+    hds = [row["hd"] for row in out["candidates"]]
+    assert hds == sorted(hds, reverse=True)
+    assert out["best"] == out["candidates"][0]
+    # Every row carries provenance and notation fields.
+    for row in out["candidates"]:
+        assert row["source"] == "cache"
+        assert row["koopman"].startswith("0x")
+
+
+def test_advise_hd_target_filters_and_reports_max_length():
+    store = small_store()
+    store.warm({G_8023: "IEEE 802.3"})
+    out = store.advise(60, hd=5)
+    assert out["considered"] == 1
+    row = out["candidates"][0]
+    assert row["hd"] >= 5
+    # 802.3 holds HD>=5 through 268 bits; our table is capped at 96.
+    assert row["max_length"] == 96
+    # An unattainable target at this length yields no candidates.
+    assert store.advise(96, hd=15)["best"] is None
+
+
+def test_advise_beyond_table_falls_back_to_paper_claims():
+    store = small_store()
+    store.warm({G_8023: "IEEE 802.3"})
+    out = store.advise(10_000)  # far past n_max=96
+    row = out["best"]
+    assert row["source"] == "paper"
+    assert row["hd"] == PAPER_POLYS["802.3"].hd_at(10_000) == 4
+
+
+def test_advise_width_filter():
+    store = AdviceStore(None, hd_max=4, n_max=48)
+    store.warm(
+        {
+            G_8023: "IEEE 802.3",
+            CATALOG["CRC-16/CCITT-FALSE"].full_poly: "CRC-16/CCITT-FALSE",
+        }
+    )
+    assert store.advise(32)["considered"] == 1  # default width=32
+    assert store.advise(32, width=16)["considered"] == 1
+    assert store.advise(32, width=None)["considered"] == 2
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text(json.dumps({"format": "something-else/9"}))
+    with pytest.raises(ValueError, match="not an advice cache"):
+        AdviceStore(str(path))
+
+
+def test_default_polys_covers_paper_and_catalog():
+    polys = default_polys()
+    for pp in PAPER_POLYS.values():
+        assert polys[pp.full]
+    for spec in CATALOG.values():
+        assert spec.full_poly in polys
+
+
+class TestCommittedCache:
+    """The repo's shipped cache serves the paper's length range cold."""
+
+    @pytest.fixture()
+    def store(self, monkeypatch):
+        def tripwire(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("MITM search invoked on the hot path")
+
+        monkeypatch.setattr(advice_mod, "hamming_distance", tripwire)
+        return AdviceStore(REPO_CACHE, autosave=False)
+
+    def test_every_default_poly_is_warm(self, store):
+        for g in default_polys():
+            assert g in store.entries, hex(g)
+            assert store.entries[g].n_max >= 2048
+
+    def test_advise_8_to_2048_never_searches(self, store):
+        for length in (8, 12, 64, 171, 268, 512, 1024, 2047, 2048):
+            out = store.advise(length, width=None, limit=50)
+            assert out["considered"] == len(store.entries)
+            assert all(r["source"] == "cache" for r in out["candidates"])
+
+    def test_exact_cells_match_paper_table1(self, store):
+        # Spot-check the cache against published Table 1 bands.
+        assert store.hd(G_8023, 268, compute=False)["hd"] == 6
+        assert store.hd(G_8023, 269, compute=False)["hd"] == 5
+        assert store.hd(G_KOOPMAN, 2048, compute=False) == {
+            "hd": 6,
+            "exact": True,
+            "source": "cache",
+        }

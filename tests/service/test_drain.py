@@ -1,0 +1,97 @@
+"""Graceful drain: SIGTERM with live connections ends in a clean exit.
+
+The servable promise mirrors the campaign pool's: a signal never
+tears a request in half.  The server is spawned as a real subprocess
+on an ephemeral loopback port, a client connection is held open (one
+request still unanswered in the kill test), SIGTERM lands, and the
+assertions are on what an operator would see: the in-flight response
+still arrives, exit status 0, and an event log that tells the story
+(``service.start`` / ``service.drain`` / ``service.stop`` plus the
+final ``metrics.snapshot`` carrying the request counters).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.events import read_events
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+CACHE = os.path.join(REPO, "results", "advice_cache.json")
+
+
+@pytest.fixture()
+def server(tmp_path):
+    events_path = str(tmp_path / "events.jsonl")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve-crc",
+         "--cache", CACHE, "--no-compute", "--metrics",
+         "--events", events_path, "--drain-grace", "10"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        announce = proc.stdout.readline().strip()
+        assert announce.startswith("service.listening "), announce
+        port = int(announce.rsplit("port=", 1)[1])
+        yield proc, port, events_path
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30)
+
+
+def events_by_name(path):
+    out = {}
+    for record in read_events(path):
+        out.setdefault(record["event"], []).append(record)
+    return out
+
+
+def test_sigterm_with_open_connection_drains_cleanly(server):
+    proc, port, events_path = server
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sk:
+        f = sk.makefile("rw")
+        f.write('{"op":"ping","id":1}\n')
+        f.flush()
+        assert json.loads(f.readline())["ok"]
+        # Connection still open when the signal lands.
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+
+    events = events_by_name(events_path)
+    assert events["service.start"][0]["transport"] == "tcp"
+    assert events["service.drain"][0]["signal"] == "SIGTERM"
+    stop = events["service.stop"][0]
+    assert stop["requests"] == 1 and stop["drained"] == "SIGTERM"
+    counters = events["metrics.snapshot"][0]["metrics"]["counters"]
+    assert counters["service.request.ping"] == 1
+
+
+def test_sigterm_mid_request_still_answers(server):
+    proc, port, events_path = server
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sk:
+        f = sk.makefile("rw")
+        # Fire the request and the signal back to back: whether the
+        # signal lands before or after the handler picks the line up,
+        # the drain must let the response out before stopping.
+        f.write('{"op":"advise","length":1500,"id":"inflight"}\n')
+        f.flush()
+        proc.send_signal(signal.SIGTERM)
+        response = json.loads(f.readline())
+        assert response["ok"] and response["id"] == "inflight"
+        assert response["best"] is not None
+    assert proc.wait(timeout=60) == 0
+
+    events = events_by_name(events_path)
+    assert "service.drain" in events and "service.stop" in events
+    counters = events["metrics.snapshot"][0]["metrics"]["counters"]
+    assert counters["service.request.advise"] == 1

@@ -1,0 +1,202 @@
+"""NDJSON protocol: in-process engine contract + stdio round-trip.
+
+Two layers of the same promise.  The :class:`CrcService` tests pin
+the request/response shapes, error-code vocabulary, ``id``
+passthrough and metrics accounting with no I/O in the way; the
+subprocess test then proves the real ``repro serve-crc --stdio``
+pipeline delivers exactly one response line per request line --
+every op, plus the malformed-JSON and unknown-spec/poly error paths
+-- and exits 0 at EOF.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.crc.catalog import get_spec
+from repro.crc.codeword import append_fcs
+from repro.obs.metrics import MetricsRegistry
+from repro.service.advice import AdviceStore
+from repro.service.server import PROTOCOL, CrcService
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+CACHE = os.path.join(REPO, "results", "advice_cache.json")
+
+
+@pytest.fixture()
+def service():
+    store = AdviceStore(CACHE, autosave=False)
+    return CrcService(store, metrics=MetricsRegistry())
+
+
+def ask(service, **request):
+    return service.handle(request)
+
+
+class TestOps:
+    def test_ping(self, service):
+        out = ask(service, op="ping", id=7)
+        assert out["ok"] and out["protocol"] == PROTOCOL
+        assert out["id"] == 7
+        assert set(out["ops"]) == {"ping", "checksum", "verify", "advise", "hd"}
+
+    def test_checksum(self, service):
+        out = ask(
+            service,
+            op="checksum",
+            spec="CRC-32/IEEE-802.3",
+            data=b"123456789".hex(),
+        )
+        assert out == {
+            "ok": True,
+            "op": "checksum",
+            "spec": "CRC-32/IEEE-802.3",
+            "crc": "0xcbf43926",
+            "width": 32,
+            "length_bytes": 9,
+            "backend": out["backend"],
+        }
+
+    def test_verify_residue_mode(self, service):
+        spec = get_spec("CRC-32C/Castagnoli")
+        frame = append_fcs(spec, b"the payload")
+        good = ask(service, op="verify", spec=spec.name, frame=frame.hex())
+        assert good["ok"] and good["valid"] and good["mode"] == "residue"
+        bad = bytearray(frame)
+        bad[0] ^= 1
+        assert not ask(
+            service, op="verify", spec=spec.name, frame=bytes(bad).hex()
+        )["valid"]
+
+    def test_verify_recompute_mode(self, service):
+        out = ask(
+            service,
+            op="verify",
+            spec="CRC-32/IEEE-802.3",
+            data=b"123456789".hex(),
+            crc="0xCBF43926",
+        )
+        assert out["ok"] and out["valid"] and out["mode"] == "recompute"
+        assert not ask(
+            service,
+            op="verify",
+            spec="CRC-32/IEEE-802.3",
+            data=b"123456789".hex(),
+            crc=1,
+        )["valid"]
+
+    def test_advise_from_committed_cache(self, service):
+        out = ask(service, op="advise", length=1024, hd=4, limit=3)
+        assert out["ok"] and out["best"]["hd"] >= 4
+        assert all(r["source"] == "cache" for r in out["candidates"])
+
+    def test_hd_paper_notation(self, service):
+        out = ask(service, op="hd", poly="0x82608EDB", length=268)
+        assert out["ok"]
+        assert out["hd"] == 6 and out["exact"] and out["source"] == "cache"
+        assert out["poly"] == "0x104c11db7"
+
+    def test_metrics_accounting(self, service):
+        ask(service, op="ping")
+        ask(service, op="ping")
+        ask(service, op="advise", length=64)
+        ask(service, op="nope")
+        counters = service.metrics.counters
+        assert counters["service.request.ping"] == 2
+        assert counters["service.request.advise"] == 1
+        assert counters["service.request.error"] == 1
+        assert counters["service.error.unknown-op"] == 1
+        assert service.metrics.timers["service.latency.advise"].count == 1
+
+
+class TestErrors:
+    def expect(self, service, code, **request):
+        out = ask(service, **request)
+        assert out["ok"] is False and out["error"]["code"] == code, out
+        return out
+
+    def test_error_paths(self, service):
+        self.expect(service, "bad-request")
+        self.expect(service, "bad-request", op=42)
+        self.expect(service, "unknown-op", op="frobnicate")
+        self.expect(service, "unknown-spec", op="checksum", spec="CRC-0", data="00")
+        self.expect(service, "bad-field", op="checksum", spec="CRC-32/IEEE-802.3",
+                    data="zz")
+        self.expect(service, "bad-field", op="verify", spec="CRC-32/IEEE-802.3")
+        self.expect(service, "bad-field", op="advise", length="long")
+        self.expect(service, "bad-field", op="advise", length=0)
+        self.expect(service, "bad-poly", op="hd", poly="0x10", length=64)
+        self.expect(service, "bad-poly", op="hd", poly=[1], length=64)
+        # Residue verify of a non-byte-multiple width is unservable.
+        self.expect(service, "bad-field", op="verify", spec="CRC-5/USB",
+                    frame="0011")
+
+    def test_non_object_request(self, service):
+        assert service.handle([1, 2])["error"]["code"] == "bad-request"
+
+    def test_bad_json_line(self, service):
+        out = json.loads(service.handle_line("{nope"))
+        assert out["error"]["code"] == "bad-json"
+
+    def test_id_passthrough_on_errors(self, service):
+        out = ask(service, op="frobnicate", id="req-9")
+        assert out["id"] == "req-9"
+
+    def test_uncached_when_compute_disabled(self):
+        service = CrcService(
+            AdviceStore(CACHE, autosave=False), compute_on_miss=False
+        )
+        out = ask(service, op="hd", poly="0x82608EDB", length=500_000)
+        assert out["error"]["code"] == "uncached"
+
+
+class TestStdioTransport:
+    def test_full_round_trip(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        shutil.copy(CACHE, cache)
+        frame = append_fcs(get_spec("CRC-32/IEEE-802.3"), b"hello")
+        requests = [
+            {"op": "ping", "id": 1},
+            {"op": "checksum", "spec": "CRC-32/IEEE-802.3",
+             "data": b"123456789".hex(), "id": 2},
+            {"op": "verify", "spec": "CRC-32/IEEE-802.3",
+             "frame": frame.hex(), "id": 3},
+            {"op": "advise", "length": 1500, "id": 4},
+            {"op": "hd", "poly": "0xBA0DC66B", "length": 1024, "id": 5},
+            {"op": "checksum", "spec": "CRC-0", "data": "00", "id": 6},
+            {"op": "hd", "poly": "not-a-poly", "length": 8, "id": 7},
+        ]
+        stdin = "\n".join(json.dumps(r) for r in requests)
+        stdin += "\nthis is not json\n"
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve-crc", "--stdio",
+             "--cache", str(cache), "--no-compute"],
+            input=stdin, capture_output=True, text=True, env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        lines = [json.loads(l) for l in proc.stdout.splitlines() if l.strip()]
+        assert len(lines) == len(requests) + 1
+
+        by_id = {l["id"]: l for l in lines if "id" in l}
+        assert by_id[1]["ok"] and by_id[1]["protocol"] == PROTOCOL
+        assert by_id[2]["crc"] == "0xcbf43926"
+        assert by_id[3]["valid"] is True
+        assert by_id[4]["best"]["source"] == "cache"
+        assert by_id[5] == {"ok": True, "op": "hd", "hd": 6, "exact": True,
+                            "source": "cache", "poly": "0x1741b8cd7",
+                            "length": 1024, "id": 5}
+        assert by_id[6]["error"]["code"] == "unknown-spec"
+        assert by_id[7]["error"]["code"] == "bad-poly"
+        assert lines[-1]["error"]["code"] == "bad-json"
+        # stdout carried protocol lines only; logs went to stderr.
+        assert "service.stop" in proc.stderr

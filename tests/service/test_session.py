@@ -1,0 +1,149 @@
+"""CrcSession: streaming agrees with one-shot, residue, combine.
+
+The session API is a veneer over the registry kernels, so the tests
+here are about the veneer's own obligations: chunking invariance
+(any split of the input yields the one-shot CRC), zero-copy input
+acceptance (bytes / bytearray / memoryview / non-byte views), residue
+constancy over arbitrary frames, and the algebraic contracts of
+``fork``/``combine``/``reset``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crc.backends import available_backends, crc_compute
+from repro.crc.catalog import CATALOG, get_spec
+from repro.crc.codeword import append_fcs
+from repro.service.session import CrcSession, residue_value
+
+CHECK_INPUT = b"123456789"
+PAYLOAD = bytes((i * 199 + 71) & 0xFF for i in range(3000))
+
+BYTE_WIDTH_SPECS = sorted(
+    name for name, spec in CATALOG.items() if spec.width % 8 == 0
+)
+ODD_WIDTH_SPECS = sorted(
+    name for name, spec in CATALOG.items() if spec.width % 8
+)
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+def test_streaming_matches_one_shot_across_catalog(name):
+    spec = CATALOG[name]
+    session = CrcSession(spec)
+    for lo, hi in [(0, 1), (1, 1), (1, 9), (9, 100), (100, 3000)]:
+        session.add(PAYLOAD[lo:hi])
+    assert session.value == crc_compute(spec, PAYLOAD[0:1] + PAYLOAD[1:3000])
+    assert session.length == 3000
+
+
+def test_check_vector_and_chaining():
+    spec = get_spec("CRC-32/IEEE-802.3")
+    assert CrcSession(spec).add(b"123").add(b"456789").value == spec.check
+
+
+def test_value_read_does_not_disturb_stream():
+    spec = get_spec("CRC-32C/Castagnoli")
+    session = CrcSession(spec)
+    session.add(CHECK_INPUT[:4])
+    _ = session.value  # mid-stream peek
+    session.add(CHECK_INPUT[4:])
+    assert session.value == spec.check
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+def test_every_backend_streams_identically(name):
+    spec = CATALOG[name]
+    expected = crc_compute(spec, PAYLOAD)
+    for backend in available_backends(spec):
+        session = CrcSession(spec, backend)
+        for i in range(0, len(PAYLOAD), 577):
+            session.add(PAYLOAD[i:i + 577])
+        assert session.value == expected, backend
+
+
+def test_zero_copy_input_kinds():
+    spec = get_spec("CRC-16/CCITT-FALSE")
+    expected = crc_compute(spec, PAYLOAD[:64])
+    for view in (
+        PAYLOAD[:64],
+        bytearray(PAYLOAD[:64]),
+        memoryview(PAYLOAD[:64]),
+        memoryview(bytearray(PAYLOAD[:64])),
+    ):
+        assert CrcSession(spec).add(view).value == expected
+    # A wider-typed view is reinterpreted as bytes in place.
+    import array
+
+    words = array.array("I", [0x04030201, 0x08070605])
+    raw = words.tobytes()
+    assert (
+        CrcSession(spec).add(memoryview(words)).value
+        == crc_compute(spec, raw)
+    )
+
+
+@pytest.mark.parametrize("name", BYTE_WIDTH_SPECS)
+def test_residue_accepts_valid_frames(name):
+    spec = CATALOG[name]
+    for message in (b"", b"\xff", CHECK_INPUT, PAYLOAD[:700]):
+        session = CrcSession(spec).add(append_fcs(spec, message))
+        assert session.check_residue(), name
+    # ... and refuses a corrupted one.
+    frame = bytearray(append_fcs(spec, CHECK_INPUT))
+    frame[3] ^= 0x40
+    assert not CrcSession(spec).add(bytes(frame)).check_residue()
+
+
+def test_residue_is_per_spec_constant():
+    spec = get_spec("CRC-32/IEEE-802.3")
+    assert residue_value(spec) == residue_value(spec)
+    assert residue_value(spec) != residue_value(get_spec("CRC-32C/Castagnoli"))
+
+
+@pytest.mark.parametrize("name", ODD_WIDTH_SPECS)
+def test_residue_refuses_non_byte_widths(name):
+    with pytest.raises(ValueError, match="byte-multiple"):
+        residue_value(CATALOG[name])
+
+
+def test_reset_rewinds_to_empty():
+    spec = get_spec("CRC-32/IEEE-802.3")
+    session = CrcSession(spec).add(PAYLOAD)
+    session.reset()
+    assert session.length == 0
+    assert session.add(CHECK_INPUT).value == spec.check
+
+
+def test_fork_is_independent():
+    spec = get_spec("CRC-32C/Castagnoli")
+    base = CrcSession(spec).add(CHECK_INPUT[:5])
+    fork = base.fork()
+    fork.add(CHECK_INPUT[5:])
+    assert fork.value == spec.check
+    assert base.length == 5
+    assert base.add(CHECK_INPUT[5:]).value == spec.check
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+def test_combine_equals_concatenation(name):
+    spec = CATALOG[name]
+    a, b = PAYLOAD[:1234], PAYLOAD[1234:]
+    sa = CrcSession(spec).add(a)
+    sb = CrcSession(spec).add(b)
+    joined = sa.combine(sb)
+    assert joined.value == crc_compute(spec, a + b)
+    assert joined.length == len(PAYLOAD)
+    # Operands untouched; the combined session keeps streaming.
+    assert sa.length == len(a) and sb.length == len(b)
+    assert joined.add(CHECK_INPUT).value == crc_compute(
+        spec, PAYLOAD + CHECK_INPUT
+    )
+
+
+def test_combine_rejects_mismatched_specs():
+    a = CrcSession(get_spec("CRC-32/IEEE-802.3"))
+    b = CrcSession(get_spec("CRC-32C/Castagnoli"))
+    with pytest.raises(ValueError, match="cannot combine"):
+        a.combine(b)

@@ -28,6 +28,7 @@ FAST_MODULES = [
     "repro.hd.syndromes",
     "repro.hd.mitm",
     "repro.hd.invariants",
+    "repro.service.session",
     "repro.search.space",
     "repro.search.census",
     "repro.search.classes",

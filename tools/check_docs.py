@@ -1,11 +1,21 @@
 #!/usr/bin/env python
-"""Execute every fenced ``python`` block in the Markdown docs.
+"""Execute every fenced ``python`` block in the Markdown docs, and
+validate every intra-repo Markdown link.
 
 Documentation that shows code must show code that runs: this tool
 extracts fenced blocks whose info string starts with ``python`` from
 README.md and docs/*.md and executes them, per file, in one shared
 namespace (so a block may use names an earlier block in the same file
 defined -- the way a reader would type them into one REPL session).
+
+Documentation that points somewhere must point at something: before
+running any code, every ``[text](target)`` link in README.md,
+ROADMAP.md, and docs/*.md is resolved.  Relative targets must name an
+existing file or directory; ``#fragment`` anchors (bare or attached
+to a ``.md`` target) must match a heading in the target file under
+GitHub's slug rules.  External schemes (``http(s)``, ``mailto``) are
+left alone -- this is a repo-integrity check, not a crawler.  A
+broken link fails the run exactly like a failing example block.
 
 Conventions:
 
@@ -46,6 +56,80 @@ def doc_files() -> list[str]:
         if name.endswith(".md"):
             files.append(os.path.join(docs, name))
     return files
+
+
+def link_checked_files() -> list[str]:
+    return doc_files() + [os.path.join(REPO, "ROADMAP.md")]
+
+
+# -- intra-repo link validation ----------------------------------------
+
+#: ``[text](target)`` and ``![alt](target)``; title suffixes
+#: (``(file.md "title")``) are split off the target below.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def _strip_fences(text: str) -> str:
+    """Drop fenced code blocks -- bracketed indexing in code is not a
+    Markdown link."""
+    return _FENCE.sub("", text)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (close enough: lower,
+    strip punctuation except hyphens/underscores, spaces to hyphens)."""
+    # Inline code/emphasis markers render away before slugging.
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: str) -> set[str]:
+    with open(path, encoding="utf-8") as f:
+        text = _strip_fences(f.read())
+    out = set()
+    for line in text.splitlines():
+        if line.startswith("#"):
+            out.add(_slugify(line.lstrip("#")))
+    return out
+
+
+def check_links() -> int:
+    """Validate every intra-repo link; returns the number broken."""
+    broken = 0
+    checked = 0
+    for path in link_checked_files():
+        rel = os.path.relpath(path, REPO)
+        with open(path, encoding="utf-8") as f:
+            text = _strip_fences(f.read())
+        for m in _LINK.finditer(text):
+            target = m.group(1)
+            if _EXTERNAL.match(target):
+                continue
+            checked += 1
+            line = text.count("\n", 0, m.start()) + 1
+            dest, _, fragment = target.partition("#")
+            if dest:
+                dest_path = os.path.normpath(
+                    os.path.join(os.path.dirname(path), dest)
+                )
+            else:
+                dest_path = path  # same-file anchor
+            if not os.path.exists(dest_path):
+                broken += 1
+                print(f"BROKEN {rel}:{line}: ({target}) -> no such file "
+                      f"{os.path.relpath(dest_path, REPO)}")
+                continue
+            if fragment and dest_path.endswith(".md"):
+                if fragment.lower() not in _anchors(dest_path):
+                    broken += 1
+                    print(f"BROKEN {rel}:{line}: ({target}) -> no heading "
+                          f"#{fragment} in "
+                          f"{os.path.relpath(dest_path, REPO)}")
+    print(f"docs-check: {checked} intra-repo links checked, {broken} broken")
+    return broken
 
 
 def python_blocks(text: str) -> list[tuple[int, str, str]]:
@@ -89,6 +173,7 @@ def run_file(path: str) -> tuple[int, int]:
 
 def main() -> int:
     sys.path.insert(0, os.path.join(REPO, "src"))
+    bad_links = check_links()  # before chdir: paths resolve repo-relative
     total = bad = 0
     with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
         os.chdir(scratch)  # examples may write checkpoints/logs here
@@ -97,7 +182,7 @@ def main() -> int:
             total += run
             bad += failed
     print(f"docs-check: {total} blocks run, {bad} failed")
-    return 1 if bad else 0
+    return 1 if bad or bad_links else 0
 
 
 if __name__ == "__main__":
