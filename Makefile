@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-all verify docs-check chaos-smoke bench bench-smoke backend-gate service-smoke bench-full repro examples clean
+.PHONY: install test test-all verify docs-check chaos-smoke bench bench-smoke backend-gate service-smoke dash-smoke bench-full repro examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -58,6 +58,13 @@ backend-gate:
 # and assert the drain events and metrics counters.  docs/SERVICE.md.
 service-smoke:
 	$(PY) tools/service_smoke.py
+
+# Live-tier gate: a tiny real campaign with --events, replayed
+# through `repro dash --once`, asserting the throughput / worker /
+# latency-percentile / waterfall lines plus the friendly rc-2 error
+# paths.  docs/OBSERVABILITY.md.
+dash-smoke:
+	$(PY) tools/dash_smoke.py
 
 bench-full:
 	REPRO_FULL=1 $(PY) -m pytest benchmarks/ --benchmark-only

@@ -5,11 +5,15 @@ reproduction's campaigns narrate themselves (``repro.obs``) — but only
 when asked.  This exhibit prices that narration on the E7b
 configuration (width-12 exhaustive search, 2 processes, the same
 config as ``bench_parallel_campaign.py``): one campaign with
-observability off, one with ``--events`` only, one with events and
-metrics both on.  Each variant keeps its best of ``REPS`` runs (the
-usual defence against scheduler noise), the three must produce the
-identical campaign record, and the fully-enabled run must land within
-3% of the disabled one — the acceptance threshold from the issue.
+observability off, one with ``--events`` but span collection
+suppressed, one with ``--events`` as shipped (trace spans auto-on),
+and one with events and metrics both on (latency histograms and
+worker span shipping included).  Each variant keeps its best of
+``REPS`` runs (the usual defence against scheduler noise), all four
+must produce the identical campaign record, and the fully-enabled run
+must land within 5% of the disabled one — the acceptance threshold
+from the live-observability issue (raised from the original 3% when
+spans and histograms joined the narration).
 
 The enabled run's event log is folded back through
 :class:`~repro.obs.report.RunReport` and written to the repo root as
@@ -26,7 +30,7 @@ import pathlib
 
 from conftest import once
 from repro.dist.pool import ParallelCoordinator
-from repro.obs.events import NULL_EVENTS, EventLog
+from repro.obs.events import NULL_EVENTS, EventLog, iter_events
 from repro.obs.report import RunReport
 from repro.search.exhaustive import SearchConfig
 
@@ -34,12 +38,13 @@ CFG = SearchConfig.for_bits(12, 4, 300)
 CHUNK_SIZE = 64
 PROCESSES = 2
 REPS = 3
-OVERHEAD_LIMIT = 0.03
+OVERHEAD_LIMIT = 0.05
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def run_campaign(events=NULL_EVENTS, collect_metrics=False):
+def run_campaign(events=NULL_EVENTS, collect_metrics=False,
+                 collect_traces=None):
     runner = ParallelCoordinator(
         config=CFG,
         chunk_size=CHUNK_SIZE,
@@ -48,6 +53,7 @@ def run_campaign(events=NULL_EVENTS, collect_metrics=False):
         max_seconds=600.0,
         events=events,
         collect_metrics=collect_metrics,
+        collect_traces=collect_traces,
     )
     elapsed = runner.run()
     return elapsed, runner
@@ -66,21 +72,24 @@ def test_observability_overhead(benchmark, record, tmp_path):
 
         for i in range(REPS):
             keep("off", *run_campaign(), i)
+            with EventLog(tmp_path / f"notrace-{i}.jsonl") as events:
+                keep("events_notrace",
+                     *run_campaign(events=events, collect_traces=False), i)
             with EventLog(tmp_path / f"events-{i}.jsonl") as events:
                 keep("events", *run_campaign(events=events), i)
             with EventLog(tmp_path / f"full-{i}.jsonl") as events:
                 keep("full",
                      *run_campaign(events=events, collect_metrics=True), i)
-        return best["off"], best["events"], best["full"]
+        return (best["off"], best["events_notrace"], best["events"],
+                best["full"])
 
-    (t_off, r_off, _), (t_ev, r_ev, _), (t_full, r_full, full_i) = once(
-        benchmark, sweep
-    )
+    ((t_off, r_off, _), (t_nt, r_nt, _), (t_ev, r_ev, _),
+     (t_full, r_full, full_i)) = once(benchmark, sweep)
 
     # Correctness first: narrated and silent campaigns are the same
     # campaign.
     baseline = {p: r.survived for p, r in r_off.campaign.results.items()}
-    for runner in (r_ev, r_full):
+    for runner in (r_nt, r_ev, r_full):
         assert runner.queue.all_done
         assert runner.campaign.candidates_examined == \
             r_off.campaign.candidates_examined
@@ -93,7 +102,15 @@ def test_observability_overhead(benchmark, record, tmp_path):
     assert rep.complete
     assert rep.candidates_examined == r_full.campaign.candidates_examined
     assert rep.metrics is not None  # the workers' snapshots arrived
+    # The new tiers actually ran: the full log carries spans, and the
+    # report's per-chunk latency histogram saw every completion.
+    assert any(
+        r["event"] == "trace.span"
+        for r in iter_events(tmp_path / f"full-{full_i}.jsonl")
+    )
+    assert rep.chunk_durations.count == rep.chunks_completed
 
+    overhead_nt = t_nt / t_off - 1.0
     overhead_ev = t_ev / t_off - 1.0
     overhead_full = t_full / t_off - 1.0
     record("observability", {
@@ -104,10 +121,12 @@ def test_observability_overhead(benchmark, record, tmp_path):
         "reps": REPS,
         "wall_seconds": {
             "off": round(t_off, 3),
+            "events_notrace": round(t_nt, 3),
             "events": round(t_ev, 3),
             "events_metrics": round(t_full, 3),
         },
         "overhead_vs_off": {
+            "events_notrace": round(overhead_nt, 4),
             "events": round(overhead_ev, 4),
             "events_metrics": round(overhead_full, 4),
         },
@@ -117,8 +136,10 @@ def test_observability_overhead(benchmark, record, tmp_path):
     # the overhead measurements folded into its metrics block.
     bench = rep.to_bench_dict(name="observability")
     bench["metrics"]["wall_seconds_off"] = round(t_off, 3)
+    bench["metrics"]["wall_seconds_events_notrace"] = round(t_nt, 3)
     bench["metrics"]["wall_seconds_events"] = round(t_ev, 3)
     bench["metrics"]["wall_seconds_events_metrics"] = round(t_full, 3)
+    bench["metrics"]["overhead_events_notrace"] = round(overhead_nt, 4)
     bench["metrics"]["overhead_events"] = round(overhead_ev, 4)
     bench["metrics"]["overhead_events_metrics"] = round(overhead_full, 4)
     out = REPO_ROOT / "BENCH_observability.json"

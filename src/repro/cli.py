@@ -10,6 +10,7 @@ would be consumed by a practitioner choosing a CRC:
     python -m repro search --width 8 --target-hd 4 --bits 100
     python -m repro campaign --width 10 --target-hd 4 --bits 200 --workers 4
     python -m repro campaign --width 10 --parallel 2 --events run.jsonl
+    python -m repro dash run.jsonl --follow
     python -m repro report run.jsonl
     python -m repro crc CRC-32/IEEE-802.3 --hex 313233343536373839
 
@@ -111,9 +112,14 @@ def _open_events(path: str | None):
 def cmd_report(args: argparse.Namespace) -> int:
     if isinstance(args.poly, str):
         # main() left the positional unparsed: it names an existing
-        # file, so render the event log it contains instead.
+        # path, so render the event log it contains instead.
+        from repro.obs.live import check_log_path
         from repro.obs.report import RunReport
 
+        problem = check_log_path(args.poly)
+        if problem is not None:
+            print(f"repro report: {problem}", file=sys.stderr)
+            return 2
         rep = RunReport.from_path(args.poly)
         if args.json:
             rep.write_bench_json(args.json, name=args.bench_name)
@@ -324,6 +330,19 @@ def _run_simulated_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
     return _finish_campaign(coord.queue.quarantined_ids, None)
 
 
+def cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.live import run_dash
+
+    if args.interval <= 0:
+        print("--interval must be positive", file=sys.stderr)
+        return 2
+    return run_dash(
+        args.path,
+        follow=args.follow and not args.once,
+        interval=args.interval,
+    )
+
+
 def cmd_crc(args: argparse.Namespace) -> int:
     from repro.crc.backends import crc_compute
 
@@ -369,6 +388,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_serve_crc(args: argparse.Namespace) -> int:
     from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
     from repro.service.advice import AdviceStore
     from repro.service.server import CrcService, ServiceServer
 
@@ -391,9 +411,15 @@ def cmd_serve_crc(args: argparse.Namespace) -> int:
         obs_metrics.install(registry)
     try:
         with _open_events(args.events) as events:
+            tracer = (
+                obs_trace.Tracer(events=events)
+                if events.enabled
+                else obs_trace.NULL_TRACE
+            )
             service = CrcService(
                 store,
                 metrics=registry or obs_metrics.NULL_METRICS,
+                tracer=tracer,
                 compute_on_miss=not args.no_compute,
             )
             server = ServiceServer(
@@ -537,6 +563,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "in-flight chunks before forfeiting them "
                         "(--parallel only)")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("dash",
+                       help="live terminal dashboard over an --events "
+                            "JSONL log (tail it while a campaign runs)")
+    p.add_argument("path", metavar="events.jsonl",
+                   help="the event log a campaign/search/service is "
+                        "writing with --events")
+    p.add_argument("--follow", "-f", action="store_true",
+                   help="keep tailing and re-rendering until Ctrl-C "
+                        "(default: render one frame and exit)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (the default; "
+                        "explicit flag for scripts)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between frames with --follow "
+                        "(default 1.0)")
+    p.set_defaults(fn=cmd_dash)
 
     p = sub.add_parser("crc", help="compute a catalog CRC over hex bytes")
     p.add_argument("name", choices=sorted(CATALOG))

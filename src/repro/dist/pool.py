@@ -65,8 +65,10 @@ from repro.dist.progress import ProgressTracker
 from repro.dist.queue import TaskQueue
 from repro.dist.tasks import SearchTask, partition_space
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.obs.events import NULL_EVENTS, NullEventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACE, Tracer
 from repro.search.exhaustive import SearchConfig, SearchResult, search_chunk
 from repro.search.records import CampaignRecord
 
@@ -82,6 +84,7 @@ def _run_chunk(
     attempt: int,
     faults: FaultPlan | None,
     collect_metrics: bool = False,
+    collect_traces: bool = False,
 ) -> tuple[int, SearchResult, dict | None]:
     """Subprocess entry point: execute one chunk of the search.
 
@@ -94,6 +97,11 @@ def _run_chunk(
     duration of the chunk and its plain-dict snapshot rides back with
     the result for the parent to merge -- per-process aggregation with
     merge-at-chunk-completion, costing the worker one dict per chunk.
+    ``collect_traces`` does the same with an unattached
+    :class:`~repro.obs.trace.Tracer`: the chunk computes under a
+    ``chunk.compute`` root span (the batched screening stages open
+    children) and the finished spans ride back as plain dicts in the
+    same aux payload, for the parent to adopt into the event stream.
 
     Injected crash/kill faults fire on the *first* attempt only (the
     reassigned retry models a healthy machine picking up the forfeited
@@ -108,15 +116,28 @@ def _run_chunk(
         slowdown = faults.slowdown("pool")
         if slowdown > 1.0:
             time.sleep(min(slowdown - 1.0, 5.0))
-    if not collect_metrics:
+    if not (collect_metrics or collect_traces):
         return chunk_id, search_chunk(config, start_index, end_index), None
-    registry = MetricsRegistry()
-    previous = obs_metrics.install(registry)
+    registry = MetricsRegistry() if collect_metrics else None
+    tracer = Tracer() if collect_traces else None
+    previous_metrics = obs_metrics.install(registry) if registry else None
+    previous_trace = obs_trace.install(tracer) if tracer else None
     try:
-        result = search_chunk(config, start_index, end_index)
+        if tracer is not None:
+            with tracer.span("chunk.compute", chunk=chunk_id, attempt=attempt):
+                result = search_chunk(config, start_index, end_index)
+        else:
+            result = search_chunk(config, start_index, end_index)
     finally:
-        obs_metrics.install(previous)
-    return chunk_id, result, registry.snapshot()
+        if registry is not None:
+            obs_metrics.install(previous_metrics)
+        if tracer is not None:
+            obs_trace.install(previous_trace)
+    aux = {
+        "metrics": registry.snapshot() if registry else None,
+        "spans": tracer.snapshot() if tracer else None,
+    }
+    return chunk_id, result, aux
 
 
 @dataclass
@@ -161,6 +182,10 @@ class ParallelCoordinator:
     max_seconds: float | None = None
     events: NullEventLog = NULL_EVENTS
     collect_metrics: bool = False
+    #: Trace spans (lease->dispatch->compute->merge per chunk) into the
+    #: event log.  None (default) = auto: on exactly when ``events`` is
+    #: a real log; True/False force it.
+    collect_traces: bool | None = None
     #: Retry budget per chunk; 0 disables quarantine (unbounded).
     max_attempts: int = 5
     #: Base of the re-lease exponential backoff (seconds).
@@ -204,6 +229,13 @@ class ParallelCoordinator:
             target_hd=self.config.target_hd,
         )
         self.tracker = ProgressTracker(total_chunks=len(self.queue))
+        if self.collect_traces is None:
+            self.collect_traces = self.events.enabled
+        self.tracer = (
+            Tracer(events=self.events) if self.collect_traces else NULL_TRACE
+        )
+        #: Open (root, dispatch) span handles per in-flight chunk id.
+        self._chunk_spans: dict[int, tuple] = {}
         self._completions_since_checkpoint = 0
         self._dirty_since_checkpoint = False
         self._shutdown_signal: str | None = None
@@ -390,15 +422,17 @@ class ParallelCoordinator:
         for fut in done:
             task = in_flight.pop(fut)
             if fut.exception() is None:
-                _, result, worker_metrics = fut.result()
-                self._deliver(task, result, now, worker_metrics)
+                _, result, aux = fut.result()
+                self._deliver(task, result, now, aux)
                 delivered += 1
             else:
                 self.stats.crashes += 1
+                self._close_chunk_spans(task.chunk_id, "crashed")
                 self.queue.release(task.chunk_id, PARENT_OWNER, now)
                 forfeited += 1
         for fut, task in list(in_flight.items()):
             fut.cancel()
+            self._close_chunk_spans(task.chunk_id, "forfeited")
             self.queue.release(task.chunk_id, PARENT_OWNER, now)
             forfeited += 1
         in_flight.clear()
@@ -428,13 +462,35 @@ class ParallelCoordinator:
         if self.log is not None:
             self.log(message)
 
+    def _close_chunk_spans(self, chunk_id: int, outcome: str) -> None:
+        """End an in-flight chunk's open spans on a non-delivery exit
+        (crash, kill, rebuild release, drain forfeit)."""
+        root, dispatch = self._chunk_spans.pop(
+            chunk_id, (obs_trace.NULL_SPAN, obs_trace.NULL_SPAN)
+        )
+        dispatch.annotate(outcome=outcome)
+        dispatch.end()
+        root.annotate(outcome=outcome)
+        root.end()
+
     def _deliver(
         self,
         task: SearchTask,
         result: SearchResult,
         now: float,
-        worker_metrics: dict | None = None,
+        aux: dict | None = None,
     ) -> None:
+        aux = aux or {}
+        root, dispatch = self._chunk_spans.pop(
+            task.chunk_id, (obs_trace.NULL_SPAN, obs_trace.NULL_SPAN)
+        )
+        dispatch.end()
+        # The worker's compute spans slot in under the dispatch span,
+        # so the waterfall reads lease -> dispatch -> compute -> merge.
+        self.tracer.adopt(aux.get("spans"), parent=dispatch.id)
+        merge_span = self.tracer.start(
+            "chunk.merge", parent=root.id, chunk=task.chunk_id
+        )
         if task.attempts > 1:
             self.stats.reassignments += 1
         deliveries = 1
@@ -462,7 +518,11 @@ class ParallelCoordinator:
         # Worker metrics merge exactly once per computed chunk -- the
         # duplicate-delivery replay above re-merges no numbers, same as
         # the campaign record.
-        self.metrics.merge(worker_metrics)
+        self.metrics.merge(aux.get("metrics"))
+        self.metrics.observe_hist("chunk.seconds", result.elapsed_seconds)
+        merge_span.end()
+        root.annotate(attempt=task.attempts)
+        root.end()
         self.stats.completions += 1
         self._completions_since_checkpoint += 1
         self._dirty_since_checkpoint = True
@@ -533,6 +593,15 @@ class ParallelCoordinator:
                     task = self.queue.lease(PARENT_OWNER, now)
                     if task is None:
                         break
+                    # Root "chunk" span opens at lease time; the gap
+                    # before dispatch starts is lease/queue overhead.
+                    root = self.tracer.start(
+                        "chunk", chunk=task.chunk_id, attempt=task.attempts
+                    )
+                    dispatch = self.tracer.start(
+                        "chunk.dispatch", parent=root.id, chunk=task.chunk_id
+                    )
+                    self._chunk_spans[task.chunk_id] = (root, dispatch)
                     try:
                         fut = executor.submit(
                             _run_chunk,
@@ -543,8 +612,10 @@ class ParallelCoordinator:
                             task.attempts,
                             self.faults,
                             self.collect_metrics,
+                            self.collect_traces,
                         )
                     except BrokenProcessPool:
+                        self._close_chunk_spans(task.chunk_id, "pool-broken")
                         self.queue.release(task.chunk_id, PARENT_OWNER, now)
                         executor, in_flight = self._rebuild(
                             executor, in_flight, now
@@ -573,12 +644,13 @@ class ParallelCoordinator:
                     task = in_flight.pop(fut)
                     exc = fut.exception()
                     if exc is None:
-                        _, result, worker_metrics = fut.result()
-                        self._deliver(task, result, now, worker_metrics)
+                        _, result, aux = fut.result()
+                        self._deliver(task, result, now, aux)
                         self.tracker.observe(now - t0, self.queue.done)
                     elif isinstance(exc, BrokenProcessPool):
                         broken = True
                         self.stats.crashes += 1
+                        self._close_chunk_spans(task.chunk_id, "killed")
                         self.events.emit(
                             "worker.crash", chunk=task.chunk_id, kind="killed"
                         )
@@ -589,6 +661,7 @@ class ParallelCoordinator:
                         # failed) so the chunk re-leases after backoff
                         # instead of waiting out the full lease.
                         self.stats.crashes += 1
+                        self._close_chunk_spans(task.chunk_id, "crashed")
                         self.events.emit(
                             "worker.crash", chunk=task.chunk_id, kind="crashed"
                         )
@@ -618,6 +691,13 @@ class ParallelCoordinator:
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
             self._restore_signal_handlers(previous_handlers)
+            # Any spans still open belong to attempts this session is
+            # abandoning (stop_after exit, or an error unwinding the
+            # loop); the drain path has already closed its own.  Close
+            # them now so every opened span reaches the log with an
+            # outcome instead of leaking.
+            for chunk_id in list(self._chunk_spans):
+                self._close_chunk_spans(chunk_id, "stopped")
         elapsed = time.monotonic() - t0
         if self.checkpoint_path is not None and self._dirty_since_checkpoint:
             self.save_checkpoint()
@@ -658,6 +738,7 @@ class ParallelCoordinator:
         without progress back off exponentially before giving up."""
         executor.shutdown(wait=False, cancel_futures=True)
         for task in in_flight.values():
+            self._close_chunk_spans(task.chunk_id, "pool-broken")
             self.queue.release(task.chunk_id, PARENT_OWNER, now)
         self.stats.pool_rebuilds += 1
         self._rebuild_streak += 1

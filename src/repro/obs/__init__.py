@@ -17,6 +17,16 @@ the distributed substrate (:mod:`repro.dist`), the search driver
   log rendered into throughput, lease-expiry rate, bailout efficiency
   and an ETA check against :mod:`repro.dist.progress`, in human and
   ``BENCH_*.json`` machine form.
+* :mod:`repro.obs.trace` -- hierarchical spans (``trace.span`` events
+  in the same JSONL stream), shipped picklable across the pool
+  boundary and re-parented into one waterfall.
+* :mod:`repro.obs.hist` -- fixed-bucket log2 latency histograms with
+  bucket-exact cross-process merge; p50/p95/p99 for chunks and
+  service requests.
+* :mod:`repro.obs.live` -- ``repro dash events.jsonl --follow``: the
+  stdlib-only terminal dashboard tailing the stream live; and
+  :mod:`repro.obs.prom`, the Prometheus text rendering ``serve-crc``
+  answers on ``GET /metrics``.
 
 Everything is off by default, and the disabled path is a shared no-op
 object (:data:`~repro.obs.events.NULL_EVENTS`,
@@ -33,6 +43,8 @@ from repro.obs.events import (
     iter_events,
     read_events,
 )
+from repro.obs.hist import Histogram
+from repro.obs.live import Dashboard, EventTail
 from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
@@ -43,6 +55,14 @@ from repro.obs.metrics import (
     uninstall,
 )
 from repro.obs.report import RunReport
+from repro.obs.trace import (
+    NULL_TRACE,
+    NullTracer,
+    Tracer,
+    flatten_tree,
+    span_tree,
+    spans_from_events,
+)
 
 __all__ = [
     "EventLog",
@@ -55,6 +75,15 @@ __all__ = [
     "NullMetrics",
     "NULL_METRICS",
     "TimerStat",
+    "Histogram",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACE",
+    "spans_from_events",
+    "span_tree",
+    "flatten_tree",
+    "Dashboard",
+    "EventTail",
     "active",
     "install",
     "uninstall",

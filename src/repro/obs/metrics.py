@@ -24,7 +24,10 @@ ruled by the disabled-path cost:
   sessions.
 
 Metric names are dotted strings (``"search.candidates"``); the
-catalog lives in docs/OBSERVABILITY.md.
+catalog lives in docs/OBSERVABILITY.md.  Four instrument kinds:
+counters, gauges, timers (four-number summaries), and fixed-bucket
+log2 latency histograms (:mod:`repro.obs.hist`), whose merge is
+bucket-exact across processes.
 """
 
 from __future__ import annotations
@@ -32,6 +35,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator
+
+from repro.obs.hist import Histogram
 
 
 class TimerStat:
@@ -117,8 +122,15 @@ class NullMetrics:
     def observe(self, name: str, seconds: float) -> None:  # noqa: ARG002
         return None
 
+    def observe_hist(self, name: str, value: float) -> None:  # noqa: ARG002
+        return None
+
     @contextmanager
     def time(self, name: str) -> Iterator[None]:  # noqa: ARG002
+        yield
+
+    @contextmanager
+    def time_hist(self, name: str) -> Iterator[None]:  # noqa: ARG002
         yield
 
     def snapshot(self) -> dict[str, Any] | None:
@@ -138,6 +150,7 @@ class MetricsRegistry(NullMetrics):
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         self.timers: dict[str, TimerStat] = {}
+        self.hists: dict[str, Histogram] = {}
 
     def inc(self, name: str, by: int = 1) -> None:
         """Add ``by`` to counter ``name`` (created at 0)."""
@@ -163,16 +176,36 @@ class MetricsRegistry(NullMetrics):
         finally:
             self.observe(name, time.perf_counter() - t0)
 
+    def observe_hist(self, name: str, value: float) -> None:
+        """Count one observation into log2 histogram ``name`` (see
+        :mod:`repro.obs.hist`)."""
+        hist = self.hists.get(name)
+        if hist is None:
+            hist = self.hists[name] = Histogram()
+        hist.observe(value)
+
+    @contextmanager
+    def time_hist(self, name: str) -> Iterator[None]:
+        """Context manager timing its body into :meth:`observe_hist`."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe_hist(name, time.perf_counter() - t0)
+
     # -- cross-process aggregation -------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
         """A plain-JSON/picklable dump, suitable for shipping across a
         process boundary or embedding in an event record."""
-        return {
+        snap: dict[str, Any] = {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "timers": {k: t.to_dict() for k, t in self.timers.items()},
         }
+        if self.hists:
+            snap["hists"] = {k: h.to_dict() for k, h in self.hists.items()}
+        return snap
 
     def merge(self, snapshot: "dict[str, Any] | MetricsRegistry | None") -> None:
         """Fold another registry's snapshot into this one.
@@ -200,6 +233,12 @@ class MetricsRegistry(NullMetrics):
                 timer.total += incoming.total
                 timer.min = min(timer.min, incoming.min)
                 timer.max = max(timer.max, incoming.max)
+        for name, d in snapshot.get("hists", {}).items():
+            hist = self.hists.get(name)
+            if hist is None:
+                self.hists[name] = Histogram.from_dict(d)
+            else:
+                hist.merge(d)
 
     def render(self) -> str:
         """Human-readable dump, one metric per line, sorted."""
@@ -213,6 +252,13 @@ class MetricsRegistry(NullMetrics):
             lines.append(
                 f"  {name}: n={t.count} total={t.total:.3f}s "
                 f"mean={t.mean * 1000:.2f}ms max={t.max * 1000:.2f}ms"
+            )
+        for name in sorted(self.hists):
+            h = self.hists[name]
+            lines.append(
+                f"  {name}: n={h.count} p50={h.p50 * 1000:.2f}ms "
+                f"p95={h.p95 * 1000:.2f}ms p99={h.p99 * 1000:.2f}ms "
+                f"max={h.max * 1000:.2f}ms"
             )
         return "\n".join(lines) if lines else "  (no metrics recorded)"
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.obs.events import iter_events
+from repro.obs.hist import Histogram
 from repro.obs.metrics import MetricsRegistry
 
 if False:  # import only for type checkers: repro.dist imports repro.obs
@@ -66,6 +67,11 @@ class RunReport:
     stage_kills: dict[int, int] = field(default_factory=dict)
     active_seconds: float = 0.0
     busy_seconds: float = 0.0
+    #: Per-chunk compute durations, folded from the ``seconds`` field
+    #: of every (non-duplicate) chunk completion -- present even when
+    #: the run collected no metrics, so percentiles never need a
+    #: second flag.
+    chunk_durations: Histogram = field(default_factory=Histogram)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     estimator_rate: float | None = None
     estimator_eta_seconds: float | None = None
@@ -182,6 +188,7 @@ class RunReport:
                 report.candidates_examined += rec.get("examined", 0)
                 report.survivors += rec.get("survivors", 0)
                 report.busy_seconds += rec.get("seconds", 0.0)
+                report.chunk_durations.observe(rec.get("seconds", 0.0))
                 for length, kills in rec.get("stage_kills", {}).items():
                     length = int(length)
                     report.stage_kills[length] = (
@@ -270,6 +277,11 @@ class RunReport:
             f"{self.survivors} survivors",
             f"  throughput: {self.polys_per_second:.1f} polys/s observed "
             f"({self.busy_seconds:.1f} worker-busy seconds)",
+            f"  chunk latency: p50={self.chunk_durations.p50 * 1000:.1f}ms "
+            f"p95={self.chunk_durations.p95 * 1000:.1f}ms "
+            f"p99={self.chunk_durations.p99 * 1000:.1f}ms "
+            f"max={self.chunk_durations.max * 1000:.1f}ms "
+            f"(n={self.chunk_durations.count})",
             f"  leases: {self.lease_grants} granted, "
             f"{self.lease_renewals} renewals, {self.lease_expiries} expired "
             f"(expiry rate {self.lease_expiry_rate:.1%})",
@@ -351,6 +363,10 @@ class RunReport:
                 "interruptions": self.interruptions,
                 "drain_forfeits": self.drain_forfeits,
                 "bailout_efficiency": round(self.bailout_efficiency, 4),
+                "chunk_seconds_p50": round(self.chunk_durations.p50, 6),
+                "chunk_seconds_p95": round(self.chunk_durations.p95, 6),
+                "chunk_seconds_p99": round(self.chunk_durations.p99, 6),
+                "chunk_seconds_max": round(self.chunk_durations.max, 6),
                 "stage_kills": {
                     str(k): v for k, v in sorted(self.stage_kills.items())
                 },

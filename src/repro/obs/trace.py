@@ -1,0 +1,368 @@
+"""Lightweight hierarchical trace spans.
+
+Events (:mod:`repro.obs.events`) say *what* happened; metrics
+(:mod:`repro.obs.metrics`) say *how much*; spans say *where inside one
+operation the time went*.  A span is one timed region with an id, an
+optional parent id, and flat attributes::
+
+    with tracer.span("chunk.compute", chunk=7):
+        with tracer.span("screen.stage", n=64):
+            ...
+
+Design rules, in order:
+
+* **Same off-by-default contract as the rest of ``repro.obs``.**  The
+  process-local active tracer is :data:`NULL_TRACE`, whose ``span()``
+  is a constant no-op context manager; instrumented code calls it
+  unconditionally.  Instrumentation sits at chunk / cascade-stage /
+  request granularity -- never per candidate.
+* **Spans are JSONL events, not a second file format.**  A
+  :class:`Tracer` bound to an :class:`~repro.obs.events.EventLog`
+  emits one ``trace.span`` record per *finished* span (children
+  therefore appear before their parents; readers reassemble by id).
+  Each record carries ``span``/``parent`` ids, the span ``name``,
+  ``dur`` (seconds), and ``rel`` -- the span's start relative to its
+  root span's start -- so a waterfall can be rendered without trusting
+  cross-process clocks.
+* **Picklable across the pool boundary.**  A worker subprocess runs an
+  *unattached* tracer (no event log), buffers finished spans as plain
+  dicts, and ships :meth:`Tracer.snapshot` back beside its metrics
+  snapshot; the parent's :meth:`Tracer.adopt` re-parents the worker's
+  root spans under the chunk's dispatch span and emits them into the
+  one JSONL stream.  Span ids are ``pid:counter`` strings, so ids from
+  different processes never collide and a kill-and-resume campaign's
+  sessions stay distinguishable.
+
+Not thread-safe by design: each process (coordinator, worker, service
+event loop) owns one tracer and drives it from one thread, the same
+discipline the metrics registry already relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import Any, Callable, Iterator
+
+from repro.obs.events import NULL_EVENTS, NullEventLog
+
+_ids = itertools.count(1)
+
+
+def _new_id() -> str:
+    """Process-unique span id, collision-free across pool workers."""
+    return f"{os.getpid():x}:{next(_ids):x}"
+
+
+class _SpanHandle:
+    """One open span.  ``annotate()`` adds attributes before the span
+    finishes; the tracer closes it (``end()`` directly, or the
+    ``span()`` context manager on exit)."""
+
+    __slots__ = ("tracer", "name", "id", "parent", "start", "attrs", "_open")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: str,
+        parent: str | None,
+        start: float,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.id = span_id
+        self.parent = parent
+        self.start = start
+        self.attrs = attrs
+        self._open = True
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def end(self) -> None:
+        if self._open:
+            self._open = False
+            self.tracer._finish(self)
+
+
+class NullSpan:
+    """The disabled span: accepts annotations, records nothing."""
+
+    id = None
+    parent = None
+
+    def annotate(self, **attrs: Any) -> None:  # noqa: ARG002
+        return None
+
+    def end(self) -> None:
+        return None
+
+
+#: Shared no-op span yielded by the disabled tracer.
+NULL_SPAN = NullSpan()
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager: ``NULL_TRACE.span(...)`` costs
+    one method call and returns this shared object -- no generator
+    frame, no allocation."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a constant no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:  # noqa: ARG002
+        return _NULL_SPAN_CONTEXT
+
+    def start(
+        self, name: str, parent: str | None = None, **attrs: Any  # noqa: ARG002
+    ) -> NullSpan:
+        return NULL_SPAN
+
+    def adopt(
+        self,
+        spans: "list[dict[str, Any]] | None",
+        parent: str | None = None,  # noqa: ARG002
+    ) -> None:
+        return None
+
+    def snapshot(self) -> list[dict[str, Any]] | None:
+        return None
+
+
+#: Shared no-op tracer; the process-wide default.
+NULL_TRACE = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Collects hierarchical spans for one process.
+
+    Attached mode (``events`` is a real log): finished spans emit
+    ``trace.span`` records immediately and nothing is buffered, so a
+    months-long campaign's tracer stays O(open spans).  Unattached
+    mode (the pool-worker shape): finished spans buffer as plain
+    dicts for :meth:`snapshot` to ship across the process boundary.
+
+    ``clock`` must be monotonic; it is injectable for tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        events: NullEventLog = NULL_EVENTS,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.events = events
+        self._clock = clock
+        self._stack: list[_SpanHandle] = []
+        #: Open roots' start times by id, for ``rel`` computation.
+        self._root_start: dict[str, float] = {}
+        self._buffer: list[dict[str, Any]] = []
+
+    # -- recording ------------------------------------------------------
+
+    def start(
+        self, name: str, parent: str | None = None, **attrs: Any
+    ) -> _SpanHandle:
+        """Open a span that outlives lexical scope (the coordinator's
+        chunk span spans many event-loop iterations).  ``parent``
+        defaults to the innermost span open via :meth:`span`; pass an
+        explicit id (or ``None`` for a root) to place it elsewhere.
+        The caller must ``end()`` it."""
+        if parent is None and self._stack:
+            parent = self._stack[-1].id
+        handle = _SpanHandle(
+            self, name, _new_id(), parent, self._clock(), dict(attrs)
+        )
+        if parent is None:
+            self._root_start[handle.id] = handle.start
+        return handle
+
+    class _SpanContext:
+        __slots__ = ("tracer", "name", "attrs", "handle")
+
+        def __init__(
+            self, tracer: "Tracer", name: str, attrs: dict[str, Any]
+        ) -> None:
+            self.tracer = tracer
+            self.name = name
+            self.attrs = attrs
+
+        def __enter__(self) -> _SpanHandle:
+            self.handle = self.tracer.start(self.name, **self.attrs)
+            self.tracer._stack.append(self.handle)
+            return self.handle
+
+        def __exit__(self, *exc: object) -> None:
+            if self.tracer._stack and self.tracer._stack[-1] is self.handle:
+                self.tracer._stack.pop()
+            self.handle.end()
+
+    def span(self, name: str, **attrs: Any) -> "Tracer._SpanContext":
+        """Context manager: open a child of the innermost open span
+        (or a root), close it on exit -- even on exceptions."""
+        return Tracer._SpanContext(self, name, attrs)
+
+    def _rel_origin(self, handle: _SpanHandle) -> float:
+        """The start time of ``handle``'s root, walking the open stack
+        (a finished span's ancestors are still open by construction)."""
+        parent = handle.parent
+        while parent is not None:
+            if parent in self._root_start:
+                return self._root_start[parent]
+            for open_span in reversed(self._stack):
+                if open_span.id == parent:
+                    parent = open_span.parent
+                    break
+            else:
+                break  # parent opened via start(); treat span as root-relative
+        return self._root_start.get(handle.id, handle.start)
+
+    def _finish(self, handle: _SpanHandle) -> None:
+        now = self._clock()
+        record = {
+            "name": handle.name,
+            "span": handle.id,
+            "parent": handle.parent,
+            "rel": round(handle.start - self._rel_origin(handle), 6),
+            "dur": round(now - handle.start, 6),
+        }
+        record.update(handle.attrs)
+        self._root_start.pop(handle.id, None)
+        if self.events.enabled:
+            self.events.emit("trace.span", **record)
+        else:
+            self._buffer.append(record)
+
+    # -- cross-process shipping ----------------------------------------
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Drain the buffered finished spans as plain picklable dicts
+        (unattached tracers only -- an attached tracer already emitted
+        everything and returns an empty list)."""
+        spans, self._buffer = self._buffer, []
+        return spans
+
+    def adopt(
+        self,
+        spans: list[dict[str, Any]] | None,
+        parent: str | None = None,
+    ) -> None:
+        """Fold a worker's shipped spans into this tracer's stream.
+
+        The worker's *root* spans (``parent`` is None) are re-parented
+        under ``parent`` -- the chunk's dispatch span -- so the
+        waterfall shows lease -> dispatch -> compute -> merge as one
+        tree even though compute happened in another process.  Non-root
+        spans keep their worker-local parent ids (pid-prefixed, so
+        they cannot collide with ours)."""
+        if not spans:
+            return
+        for record in spans:
+            if record.get("parent") is None and parent is not None:
+                record = dict(record, parent=parent, remote=True)
+            if self.events.enabled:
+                self.events.emit("trace.span", **record)
+            else:
+                self._buffer.append(record)
+
+
+# -- the process-local active tracer -----------------------------------
+#
+# Mirrors repro.obs.metrics: hot paths fetch the tracer at call time,
+# so install() takes effect everywhere at once, including in forked
+# pool workers that install their own tracer per chunk.
+
+_active: NullTracer = NULL_TRACE
+
+
+def install(tracer: NullTracer) -> NullTracer:
+    """Make ``tracer`` the process-local active tracer; returns the
+    previous one so callers can restore it."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+def uninstall() -> None:
+    """Reset the active tracer to the disabled default."""
+    install(NULL_TRACE)
+
+
+def active() -> NullTracer:
+    """The tracer instrumented code records into (:data:`NULL_TRACE`
+    unless :func:`install` was called in this process)."""
+    return _active
+
+
+def spans_from_events(
+    records: "list[dict[str, Any]]",
+) -> list[dict[str, Any]]:
+    """The ``trace.span`` records of a parsed event stream, in emit
+    order (children before parents within one trace)."""
+    return [r for r in records if r.get("event") == "trace.span"]
+
+
+def span_tree(
+    spans: list[dict[str, Any]],
+) -> dict[str | None, list[dict[str, Any]]]:
+    """Index spans by parent id -- ``tree[None]`` are the roots;
+    ``tree[span_id]`` the children of ``span_id``.  Orphans (parent
+    never seen, e.g. the log started mid-trace) group under their
+    missing parent id, which renderers treat as extra roots."""
+    tree: dict[str | None, list[dict[str, Any]]] = {}
+    for record in spans:
+        tree.setdefault(record.get("parent"), []).append(record)
+    return tree
+
+
+def _walk(
+    tree: dict[str | None, list[dict[str, Any]]],
+    parent: str | None,
+    depth: int,
+    out: list[tuple[int, dict[str, Any]]],
+    seen: set[str],
+) -> None:
+    for record in tree.get(parent, []):
+        span_id = record.get("span")
+        if span_id in seen:
+            continue  # defensive: a cycle would otherwise recurse forever
+        seen.add(span_id)
+        out.append((depth, record))
+        _walk(tree, span_id, depth + 1, out, seen)
+
+
+def flatten_tree(
+    spans: list[dict[str, Any]],
+) -> list[tuple[int, dict[str, Any]]]:
+    """Depth-first ``(depth, span)`` rows for rendering: roots at
+    depth 0, children indented under their parents, orphaned subtrees
+    appended as extra roots."""
+    tree = span_tree(spans)
+    known = {r.get("span") for r in spans}
+    out: list[tuple[int, dict[str, Any]]] = []
+    seen: set[str] = set()
+    _walk(tree, None, 0, out, seen)
+    for parent in tree:
+        if parent is not None and parent not in known:
+            _walk(tree, parent, 0, out, seen)
+    return out

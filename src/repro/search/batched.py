@@ -41,6 +41,7 @@ from repro.hd.breakpoints import _refute_weights
 from repro.hd.cost import EnvelopeError, check_envelope
 from repro.hd.mitm import find_witness, windowed_witness
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.obs.events import NULL_EVENTS, NullEventLog
 from repro.search.exhaustive import ScreenResult, SearchConfig
 from repro.search.records import PolyRecord
@@ -88,6 +89,7 @@ def _screen_batch(
     hd = config.target_hd
     records: list[PolyRecord | None] = [None] * B
     kills: dict[int, int] = {}
+    tracer = obs_trace.active()
     # (x+1) | g  <=>  even popcount: odd weights are immune (parity).
     immune = (np.bitwise_count(g_all) & np.uint64(1)) == np.uint64(0)
     alive_slot = np.arange(B)
@@ -97,6 +99,11 @@ def _screen_batch(
     for n in config.filter_lengths:
         if len(alive_slot) == 0:
             break
+        # One span per cascade stage: n is the filter length, alive the
+        # batch rows entering; killed annotated on close.
+        stage_span = tracer.start(
+            "screen.stage", n=n, alive=len(alive_slot)
+        )
         N = n + r
         tables = (
             syndrome_tables_batched(g_alive, N)
@@ -212,6 +219,8 @@ def _screen_batch(
             g_alive = g_alive[keep]
             immune = immune[keep]
             tables = tables[keep]
+        stage_span.annotate(killed=kills.get(n, 0))
+        stage_span.end()
 
     # After the last stage's compaction ``tables`` holds exactly the
     # survivor rows, so the views handed out share that one array.

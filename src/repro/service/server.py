@@ -17,7 +17,10 @@ parser.  Two transports share one protocol engine:
 ``dict -> dict`` request handler over :class:`~repro.service.session.CrcSession`
 and :class:`~repro.service.advice.AdviceStore`, instrumented through
 :mod:`repro.obs` (``service.request.<op>`` counters,
-``service.latency.<op>`` timers, ``service.request.error``).
+``service.latency.<op>`` log2 latency histograms,
+``service.request.error``, per-request parse/compute/respond trace
+spans, and a Prometheus-text ``GET /metrics`` answered on the TCP
+port itself).
 :class:`ServiceServer` adds the event-loop plumbing and the graceful
 SIGTERM/SIGINT drain (finish in-flight requests within
 ``drain_grace`` seconds, emit ``service.drain``/``service.stop`` plus
@@ -42,6 +45,8 @@ from typing import Any, Callable
 from repro.crc.catalog import CATALOG, get_spec
 from repro.obs.events import NULL_EVENTS, NullEventLog
 from repro.obs.metrics import NULL_METRICS, NullMetrics
+from repro.obs.prom import CONTENT_TYPE, render_prometheus
+from repro.obs.trace import NULL_TRACE, NullTracer
 from repro.service.advice import AdviceStore
 from repro.service.session import CrcSession, residue_value
 
@@ -97,10 +102,12 @@ class CrcService:
         store: AdviceStore | None = None,
         *,
         metrics: NullMetrics = NULL_METRICS,
+        tracer: NullTracer = NULL_TRACE,
         compute_on_miss: bool = True,
     ) -> None:
         self.store = store if store is not None else AdviceStore(path=None)
         self.metrics = metrics
+        self.tracer = tracer
         self.compute_on_miss = compute_on_miss
         self._sessions: dict[tuple[str, str], CrcSession] = {}
         self._ops: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
@@ -109,6 +116,7 @@ class CrcService:
             "verify": self._op_verify,
             "advise": self._op_advise,
             "hd": self._op_hd,
+            "metrics": self._op_metrics,
         }
 
     # -- field extraction ---------------------------------------------
@@ -244,6 +252,14 @@ class CrcService:
             limit = self._int_field(req, "limit")
         return self.store.advise(length, hd=hd, width=width, limit=limit)
 
+    def _op_metrics(self, req: dict[str, Any]) -> dict[str, Any]:
+        """The live registry snapshot -- the same numbers the
+        Prometheus ``GET /metrics`` rendering exposes, as JSON."""
+        return {
+            "enabled": self.metrics.enabled,
+            "metrics": self.metrics.snapshot(),
+        }
+
     def _op_hd(self, req: dict[str, Any]) -> dict[str, Any]:
         g = _parse_poly_field(req.get("poly"), req.get("notation", "auto"))
         length = self._int_field(req, "length")
@@ -273,7 +289,7 @@ class CrcService:
                 request,
             )
         try:
-            with self.metrics.time(f"service.latency.{op}"):
+            with self.metrics.time_hist(f"service.latency.{op}"):
                 body = fn(request)
         except ProtocolError as exc:
             return self._error(exc.code, str(exc), request)
@@ -288,15 +304,35 @@ class CrcService:
         return response
 
     def handle_line(self, line: str) -> str:
-        """One NDJSON request line -> one NDJSON response line."""
-        try:
-            request = json.loads(line)
-        except json.JSONDecodeError as exc:
-            return json.dumps(
-                self._error("bad-json", f"not JSON: {exc}"),
-                separators=(",", ":"),
+        """One NDJSON request line -> one NDJSON response line.
+
+        When a tracer is attached, each line is served under a
+        ``request`` span with ``request.parse`` / ``request.compute``
+        / ``request.respond`` children -- the per-request waterfall.
+        """
+        with self.tracer.span("request") as req_span:
+            with self.tracer.span("request.parse"):
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    request = None
+                    parse_error = f"not JSON: {exc}"
+                else:
+                    parse_error = None
+            if parse_error is not None:
+                req_span.annotate(op="bad-json")
+                with self.tracer.span("request.respond"):
+                    return json.dumps(
+                        self._error("bad-json", parse_error),
+                        separators=(",", ":"),
+                    )
+            with self.tracer.span("request.compute"):
+                response = self.handle(request)
+            req_span.annotate(
+                op=response.get("op", "error"), ok=response.get("ok", False)
             )
-        return json.dumps(self.handle(request), separators=(",", ":"))
+            with self.tracer.span("request.respond"):
+                return json.dumps(response, separators=(",", ":"))
 
     def _error(
         self, code: str, message: str, request: Any = None
@@ -446,10 +482,49 @@ class ServiceServer:
                 return None
         return read.result() or None
 
+    async def _serve_http(
+        self,
+        request_line: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Answer one plain-HTTP request on the NDJSON port and close.
+
+        ``GET /metrics`` renders the live registry in Prometheus text
+        format 0.0.4 -- the same numbers the ``metrics`` NDJSON verb
+        snapshots, so a scraper needs no second protocol.  Anything
+        else 404s.  One request per connection (``Connection: close``):
+        scrape traffic should not hold NDJSON slots open.
+        """
+        try:
+            while True:  # drain the request headers, bounded by drain grace
+                header = await asyncio.wait_for(reader.readline(), 1.0)
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+        except asyncio.TimeoutError:
+            pass
+        parts = request_line.split()
+        path = parts[1] if len(parts) >= 2 else ""
+        if path.split("?")[0] == "/metrics":
+            status = "200 OK"
+            body = render_prometheus(self.service.metrics).encode()
+            self.service.metrics.inc("service.request.scrape")
+        else:
+            status = "404 Not Found"
+            body = b"only /metrics is served over HTTP\n"
+        writer.write(
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {CONTENT_TYPE}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n".encode() + body
+        )
+        await writer.drain()
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._writers.add(writer)
+        first = True
         try:
             while True:
                 line = await self._next_line(reader)
@@ -458,6 +533,12 @@ class ServiceServer:
                 text = line.decode("utf-8", errors="replace").strip()
                 if not text:
                     continue
+                if first and text.startswith(("GET ", "HEAD ")):
+                    # A scraper, not an NDJSON peer: answer the one
+                    # HTTP request and close the connection.
+                    await self._serve_http(text, reader, writer)
+                    return
+                first = False
                 writer.write(self._serve_line(text).encode() + b"\n")
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):

@@ -1,0 +1,213 @@
+"""Dashboard plumbing: torn-tail tailing, live folds, frame rendering.
+
+The tail tests simulate the adversarial writer -- records appearing a
+few bytes at a time, a final line torn mid-record, a log rotated out
+from under the reader.  The render tests feed a synthetic (but
+schema-faithful) campaign log and assert the acceptance surface: the
+frame names throughput, workers and p95 latency, counts chunks in
+flight, and draws the span waterfall.  ``run_dash`` is driven through
+its ``out=`` hook so the rc-2 error paths and ``--once`` mode are
+pinned without a TTY.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import SCHEMA_VERSION
+from repro.obs.live import (
+    Dashboard,
+    EventTail,
+    check_log_path,
+    run_dash,
+)
+
+
+def jline(event: str, **fields) -> bytes:
+    return json.dumps(
+        {"v": SCHEMA_VERSION, "event": event, **fields}
+    ).encode() + b"\n"
+
+
+def campaign_log(path, *, spans: bool = True) -> None:
+    """A faithful two-chunk campaign log, one in flight at the end."""
+    chunks = [
+        jline("log.open", t=0.0, pid=123),
+        jline(
+            "campaign.start", t=0.1, width=8, target_hd=4, final_length=100,
+            chunk_size=8, chunks=4, processes=2,
+        ),
+        jline("lease.grant", t=0.2, chunk=0),
+        jline("lease.grant", t=0.2, chunk=1),
+        jline(
+            "chunk.done", t=1.0, chunk=0, examined=8, survivors=1,
+            seconds=0.5, stage_kills={"16": 7},
+        ),
+        jline("lease.grant", t=1.1, chunk=2),
+        jline(
+            "chunk.done", t=2.0, chunk=1, examined=8, survivors=0,
+            seconds=0.9, stage_kills={"16": 8},
+        ),
+    ]
+    if spans:
+        chunks += [
+            jline(
+                "trace.span", t=2.1, name="chunk.compute", span="7b:2",
+                parent="7b:1", rel=0.01, dur=0.8, remote=True,
+            ),
+            jline(
+                "trace.span", t=2.1, name="chunk", span="7b:1",
+                parent=None, rel=0.0, dur=0.9, chunk=1,
+            ),
+        ]
+    path.write_bytes(b"".join(chunks))
+
+
+class TestEventTail:
+    def test_torn_tail_left_unconsumed_until_completed(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        whole = jline("log.open", t=0.0)
+        log.write_bytes(whole + b'{"event": "chunk.d')  # writer mid-record
+        tail = EventTail(log)
+        assert [r["event"] for r in tail.poll()] == ["log.open"]
+        assert tail.poll() == []  # torn tail still torn
+        with open(log, "ab") as f:  # writer finishes the record
+            f.write(b'one", "v": 1}\n')
+        assert [r["event"] for r in tail.poll()] == ["chunk.done"]
+
+    def test_incremental_appends(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        log.write_bytes(jline("log.open"))
+        tail = EventTail(log)
+        assert len(tail.poll()) == 1
+        assert tail.poll() == []
+        with open(log, "ab") as f:
+            f.write(jline("lease.grant", chunk=0) + jline("chunk.done", chunk=0))
+        assert [r["event"] for r in tail.poll()] == [
+            "lease.grant",
+            "chunk.done",
+        ]
+
+    def test_shrunk_log_restarts_from_zero(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        log.write_bytes(jline("log.open") + jline("chunk.done", chunk=0))
+        tail = EventTail(log)
+        assert len(tail.poll()) == 2
+        log.write_bytes(jline("log.open"))  # rotated: fresh, shorter file
+        assert [r["event"] for r in tail.poll()] == ["log.open"]
+
+    def test_missing_file_is_quietly_empty(self, tmp_path):
+        assert EventTail(tmp_path / "nope.jsonl").poll() == []
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        log = tmp_path / "bad.jsonl"
+        log.write_bytes(b"this is not json\n")
+        with pytest.raises(ValueError, match="not a JSONL event log"):
+            EventTail(log).poll()
+
+    def test_future_schema_raises(self, tmp_path):
+        log = tmp_path / "future.jsonl"
+        log.write_bytes(
+            json.dumps(
+                {"v": SCHEMA_VERSION + 1, "event": "log.open"}
+            ).encode() + b"\n"
+        )
+        with pytest.raises(ValueError, match="newer than this reader"):
+            EventTail(log).poll()
+
+
+class TestDashboardRender:
+    def test_frame_names_the_acceptance_surface(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        campaign_log(log)
+        dash = Dashboard(log)
+        assert dash.refresh() > 0
+        frame = dash.render()
+        assert "progress: [" in frame and "2/4 chunks" in frame
+        assert "throughput:" in frame and "polys/s" in frame
+        assert "p50=" in frame and "p95=" in frame and "p99=" in frame
+        assert "workers: 2 configured" in frame
+        assert "1 chunks in flight" in frame  # chunk 2 leased, not done
+        assert "health:" in frame and "eta:" in frame
+
+    def test_waterfall_shows_most_recent_root(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        campaign_log(log, spans=True)
+        dash = Dashboard(log)
+        dash.refresh()
+        frame = dash.render()
+        assert "last trace (chunk chunk=1" in frame
+        assert "chunk.compute" in frame
+
+    def test_no_spans_no_waterfall(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        campaign_log(log, spans=False)
+        dash = Dashboard(log)
+        dash.refresh()
+        assert "last trace" not in dash.render()
+
+    def test_in_flight_cleared_on_drain_and_new_session(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        log.write_bytes(
+            jline("log.open")
+            + jline("lease.grant", chunk=0)
+            + jline("lease.grant", chunk=1)
+            + jline("shutdown.drain", forfeited=2)
+        )
+        dash = Dashboard(log)
+        dash.refresh()
+        assert dash.in_flight == set()
+        with open(log, "ab") as f:
+            f.write(jline("log.open") + jline("lease.grant", chunk=0))
+        dash.refresh()
+        assert dash.in_flight == {0}
+
+    def test_render_on_empty_records_is_harmless(self, tmp_path):
+        frame = Dashboard(tmp_path / "never.jsonl").render(following=True)
+        assert "following" in frame
+
+
+class TestRunDash:
+    def test_once_renders_single_frame(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        campaign_log(log)
+        frames = []
+        assert run_dash(str(log), out=frames.append) == 0
+        assert len(frames) == 1
+        assert "throughput:" in frames[0] and "p95=" in frames[0]
+
+    def test_directory_is_always_rc2(self, tmp_path):
+        msgs = []
+        assert run_dash(str(tmp_path), out=msgs.append, follow=True) == 2
+        assert "is a directory" in msgs[0]
+
+    def test_missing_and_empty_are_rc2_unless_following(self, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        empty = tmp_path / "empty.jsonl"
+        empty.touch()
+        msgs = []
+        assert run_dash(missing, out=msgs.append) == 2
+        assert "no such file" in msgs[0]
+        assert run_dash(str(empty), out=msgs.append) == 2
+        assert "empty" in msgs[1]
+        # In follow mode the campaign may simply not have started yet.
+        frames = []
+        assert (
+            run_dash(missing, out=frames.append, follow=True, max_frames=2)
+            == 0
+        )
+        assert len(frames) == 2
+
+    def test_not_an_event_log_is_rc2(self, tmp_path):
+        log = tmp_path / "noise.txt"
+        log.write_text("hello world\n")
+        msgs = []
+        assert run_dash(str(log), out=msgs.append) == 2
+        assert "not a JSONL event log" in msgs[0]
+
+    def test_check_log_path_happy(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        campaign_log(log)
+        assert check_log_path(str(log)) is None

@@ -1,0 +1,156 @@
+"""One port, two protocols: the NDJSON ``metrics`` verb and HTTP scrape.
+
+``serve-crc`` answers a first line starting with ``GET `` or ``HEAD ``
+as a one-shot HTTP exchange instead of NDJSON, so a Prometheus
+scraper can point at the service's only port.  Both views read the
+same registry, which the cross-protocol test pins as the sum-match
+invariant: the scrape's ``+Inf`` bucket equals its ``_count`` sample
+equals the NDJSON snapshot's histogram ``count`` equals the sum of
+its sparse buckets.  Run against a real subprocess server on an
+ephemeral loopback port, same harness as the drain tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+CACHE = os.path.join(REPO, "results", "advice_cache.json")
+
+
+@pytest.fixture()
+def server(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve-crc",
+         "--cache", CACHE, "--no-compute", "--metrics",
+         "--drain-grace", "10"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        announce = proc.stdout.readline().strip()
+        assert announce.startswith("service.listening "), announce
+        port = int(announce.rsplit("port=", 1)[1])
+        yield port
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30)
+
+
+def ndjson(port, *requests):
+    """Send NDJSON requests on one connection; one response per line."""
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sk:
+        f = sk.makefile("rw")
+        for request in requests:
+            f.write(json.dumps(request) + "\n")
+            f.flush()
+        return [json.loads(f.readline()) for _ in requests]
+
+
+def http_get(port, path, method="GET"):
+    """A bare HTTP/1.1 exchange; returns (status, headers, body)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sk:
+        sk.sendall(
+            f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+            "Accept: text/plain\r\n\r\n".encode()
+        )
+        raw = b""
+        while chunk := sk.recv(65536):
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, body.decode()
+
+
+def test_metrics_verb_returns_live_snapshot(server):
+    port = server
+    responses = ndjson(
+        server,
+        {"op": "ping", "id": 1},
+        {"op": "ping", "id": 2},
+        {"op": "metrics", "id": 3},
+    )
+    assert all(r["ok"] for r in responses)
+    snap = responses[2]
+    assert snap["enabled"] is True
+    assert snap["metrics"]["counters"]["service.request.ping"] == 2
+    hist = snap["metrics"]["hists"]["service.latency.ping"]
+    assert hist["count"] == 2
+    assert sum(hist["buckets"].values()) == 2
+
+
+def test_scrape_sum_matches_ndjson_snapshot(server):
+    port = server
+    # Generate latency observations across several ops, then snapshot
+    # over NDJSON *before* scraping (the scrape itself only increments
+    # a counter, never a histogram, so the hist counts must agree).
+    responses = ndjson(
+        port,
+        {"op": "ping", "id": 1},
+        {"op": "advise", "length": 1500, "id": 2},
+        {"op": "checksum", "poly": "0x82608edb", "data": "00", "id": 3},
+        {"op": "metrics", "id": 4},
+    )
+    snap = responses[3]["metrics"]
+
+    status, headers, body = http_get(port, "/metrics")
+    assert status == 200
+    assert headers["content-type"].startswith("text/plain; version=0.0.4")
+    assert headers["connection"] == "close"
+    assert int(headers["content-length"]) == len(body.encode())
+
+    for op in ("ping", "advise", "checksum"):
+        name = f"service_latency_{op}"
+        assert f"# TYPE {name} histogram" in body
+        inf = int(
+            re.search(rf'{name}_bucket{{le="\+Inf"}} (\d+)', body).group(1)
+        )
+        count = int(re.search(rf"{name}_count (\d+)", body).group(1))
+        ndjson_hist = snap["hists"][f"service.latency.{op}"]
+        assert inf == count == ndjson_hist["count"] == 1
+        assert sum(ndjson_hist["buckets"].values()) == 1
+    counter = int(
+        re.search(r"service_request_ping (\d+)", body).group(1)
+    )
+    assert counter == snap["counters"]["service.request.ping"] == 1
+
+
+def test_scrape_is_counted_and_other_paths_404(server):
+    port = server
+    status, _, _ = http_get(port, "/metrics")
+    assert status == 200
+    status, _, body = http_get(port, "/anything-else")
+    assert status == 404
+    assert "only /metrics" in body
+    # The scrapes themselves show up in the registry.
+    (snap,) = ndjson(port, {"op": "metrics", "id": 1})
+    assert snap["metrics"]["counters"]["service.request.scrape"] == 1
+
+
+def test_head_and_query_string_tolerated(server):
+    port = server
+    status, headers, _ = http_get(port, "/metrics?format=prometheus")
+    assert status == 200
+    status, headers, _ = http_get(port, "/metrics", method="HEAD")
+    assert status == 200
+
+
+def test_ndjson_still_works_after_scrapes(server):
+    port = server
+    http_get(port, "/metrics")
+    (pong,) = ndjson(port, {"op": "ping", "id": "after"})
+    assert pong["ok"] and pong["id"] == "after"

@@ -44,7 +44,9 @@ class TestOps:
         out = ask(service, op="ping", id=7)
         assert out["ok"] and out["protocol"] == PROTOCOL
         assert out["id"] == 7
-        assert set(out["ops"]) == {"ping", "checksum", "verify", "advise", "hd"}
+        assert set(out["ops"]) == {
+            "ping", "checksum", "verify", "advise", "hd", "metrics",
+        }
 
     def test_checksum(self, service):
         out = ask(
@@ -112,7 +114,18 @@ class TestOps:
         assert counters["service.request.advise"] == 1
         assert counters["service.request.error"] == 1
         assert counters["service.error.unknown-op"] == 1
-        assert service.metrics.timers["service.latency.advise"].count == 1
+        # Latency is a log2 histogram now, not a scalar timer sum.
+        assert service.metrics.hists["service.latency.advise"].count == 1
+
+    def test_metrics_op_matches_registry(self, service):
+        ask(service, op="ping")
+        out = ask(service, op="metrics")
+        assert out["ok"] and out["enabled"]
+        snap = out["metrics"]
+        assert snap["counters"]["service.request.ping"] == 1
+        # The snapshot is taken inside the op's own latency timing, so
+        # its own histogram entry exists but precedes the final observe.
+        assert "service.latency.ping" in snap["hists"]
 
 
 class TestErrors:
