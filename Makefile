@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-all verify docs-check chaos-smoke bench bench-smoke backend-gate service-smoke dash-smoke bench-full repro examples clean
+.PHONY: install test test-all verify docs-check chaos-smoke bench bench-smoke backend-gate packed-gate service-smoke dash-smoke bench-full repro examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -52,6 +52,12 @@ bench-smoke:
 # catalog spec must agree with the bit-serial reference, end to end.
 backend-gate:
 	PYTHONPATH=src $(PY) tools/backend_gate.py
+
+# Packed-kernel identity gate: the bit-plane screening census over the
+# width-10 full space must be bit-identical to the scalar oracle, and
+# the matpow / jump engines must hit their independent oracles.
+packed-gate:
+	PYTHONPATH=src $(PY) tools/packed_gate.py
 
 # Serving-layer gate: spawn `repro serve-crc` on a loopback port,
 # run a scripted NDJSON session (every op + error paths), SIGTERM it,

@@ -167,7 +167,9 @@ def cmd_search(args: argparse.Namespace) -> int:
         return 2
     from repro.obs import metrics as obs_metrics
 
-    cfg = SearchConfig.for_bits(args.width, args.target_hd, args.bits)
+    cfg = SearchConfig.for_bits(
+        args.width, args.target_hd, args.bits, backend=args.backend
+    )
     registry = obs_metrics.MetricsRegistry() if args.metrics else None
     if registry is not None:
         obs_metrics.install(registry)
@@ -211,7 +213,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         CheckpointMissing,
     )
 
-    cfg = SearchConfig.for_bits(args.width, args.target_hd, args.bits)
+    cfg = SearchConfig.for_bits(
+        args.width, args.target_hd, args.bits, backend=args.backend
+    )
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
         return 2
@@ -526,6 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--target-hd", type=int, default=4)
     p.add_argument("--bits", type=int, default=100)
+    p.add_argument("--backend", choices=["batched", "packed", "scalar"],
+                   default="batched",
+                   help="screening kernel (packed: bit-plane/composite-"
+                        "key; scalar: the per-candidate oracle)")
     p.set_defaults(fn=cmd_search)
 
     p = sub.add_parser("campaign", parents=[observability],
@@ -533,6 +541,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=10)
     p.add_argument("--target-hd", type=int, default=4)
     p.add_argument("--bits", type=int, default=200)
+    p.add_argument("--backend", choices=["batched", "packed", "scalar"],
+                   default="batched",
+                   help="screening kernel inherited by every worker")
     p.add_argument("--workers", type=int, default=4,
                    help="simulated in-process workers (logical clock); "
                         "ignored when --parallel is given")

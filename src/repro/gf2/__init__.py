@@ -29,6 +29,10 @@ Modules
     Conversions between the paper's implicit-+1 hex notation, the
     conventional MSB-first notation, reflected notation, exponent
     lists, and factorization-class signatures.
+``matpow``
+    GF(2) matrix powers of the companion matrix: ``O(r**2 log n)``
+    jumps along the syndrome sequence (length-jumping for breakpoint
+    bisection and cross-validation).
 """
 
 from repro.gf2.poly import (
@@ -45,6 +49,16 @@ from repro.gf2.poly import (
     is_palindrome,
 )
 from repro.gf2.irreducible import is_irreducible, irreducibles
+from repro.gf2.matpow import (
+    PowerLadder,
+    companion_matrix,
+    identity_matrix,
+    ladder_for,
+    mat_mul,
+    mat_pow,
+    mat_square,
+    mat_vec,
+)
 from repro.gf2.order import order_of_x, is_primitive
 from repro.gf2.factorize import factorize, factor_degrees
 from repro.gf2.notation import (
@@ -74,6 +88,14 @@ __all__ = [
     "is_palindrome",
     "is_irreducible",
     "irreducibles",
+    "PowerLadder",
+    "companion_matrix",
+    "identity_matrix",
+    "ladder_for",
+    "mat_mul",
+    "mat_pow",
+    "mat_square",
+    "mat_vec",
     "order_of_x",
     "is_primitive",
     "factorize",

@@ -1,0 +1,200 @@
+"""GF(2) matrix powers: O(r^2 log n) length-jumping for LFSR state.
+
+The syndrome sequence ``syn[j] = x**j mod g`` is a linear recurrence:
+one LFSR step is multiplication by the companion matrix of ``g`` over
+GF(2).  Squaring that matrix ``log2(n)`` times therefore jumps the
+state *n* positions in ``O(r**2 log n)`` bit operations -- no matter
+how large ``n`` is -- where a plain sweep pays ``O(n)`` steps.  That
+asymmetry is what makes breakpoint *bisection* practical: probing
+"does a weight-k codeword fit in 2**20 bits?" no longer requires
+walking 2**20 LFSR steps first.
+
+Representation
+--------------
+An ``r x r`` matrix over GF(2) is a numpy array of ``r`` ``uint64``
+words; word ``i`` is row ``i``'s bitmask over columns (bit ``j`` set
+means ``M[i][j] == 1``).  State vectors stay in the project's native
+syndrome encoding -- a Python int whose bit ``i`` is the coefficient
+of ``x**i`` -- so jump outputs drop straight into syndrome tables.
+The row-bitmask layout caps the width at 64 columns, which covers
+every CRC this reproduction handles (the paper stops at 32).
+
+A matrix--vector product is one vectorized popcount-parity::
+
+    out_bit[i] = parity(popcount(row[i] & v))
+
+and a matrix--matrix product XOR-accumulates the rows of ``B``
+selected by each row of ``A`` -- ``r**2`` word operations, at most
+4096 for ``r == 64``.
+
+:class:`PowerLadder` caches the squarings ``C**(2**t)`` per
+polynomial (see :func:`ladder_for`), so repeated jumps for the same
+``g`` -- the access pattern of breakpoint bisection -- pay the ladder
+construction once and ``O(r**2)`` per set bit of ``n`` afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf2.poly import degree
+
+#: Widest polynomial the row-bitmask layout supports (columns per word).
+MATPOW_MAX_DEGREE = 64
+
+
+def _check_degree(r: int) -> None:
+    if not 1 <= r <= MATPOW_MAX_DEGREE:
+        raise ValueError(
+            f"matrix width {r} outside [1, {MATPOW_MAX_DEGREE}]"
+        )
+
+
+def identity_matrix(r: int) -> np.ndarray:
+    """The ``r x r`` identity as packed row bitmasks.
+
+    >>> identity_matrix(3)
+    array([1, 2, 4], dtype=uint64)
+    """
+    _check_degree(r)
+    return np.uint64(1) << np.arange(r, dtype=np.uint64)
+
+
+def companion_matrix(g: int) -> np.ndarray:
+    """Companion matrix of ``g``: one LFSR step as a linear map.
+
+    Multiplication by ``x`` modulo ``g`` sends state ``s`` to
+    ``(s << 1) ^ (g if s[r-1] else 0)`` truncated to ``r`` bits, so
+    output bit ``b`` reads input bit ``b - 1`` and, when ``g`` has the
+    ``x**b`` term, input bit ``r - 1``:
+
+    >>> [int(row) for row in companion_matrix(0b1011)]  # x^3 + x + 1
+    [4, 5, 2]
+    >>> from repro.gf2.matpow import mat_vec
+    >>> mat_vec(companion_matrix(0b1011), 0b100)  # x * x^2 = x + 1
+    3
+    """
+    r = degree(g)
+    _check_degree(r)
+    rows = np.zeros(r, dtype=np.uint64)
+    rows[1:] = np.uint64(1) << np.arange(r - 1, dtype=np.uint64)
+    top = np.uint64(1) << np.uint64(r - 1)
+    g_low = np.uint64(g & ((1 << r) - 1))  # top bit of g is implicit
+    g_bits = (g_low >> np.arange(r, dtype=np.uint64)) & np.uint64(1)
+    rows |= g_bits * top
+    return rows
+
+
+def mat_vec(m: np.ndarray, v: int) -> int:
+    """Apply ``m`` to the state bitmask ``v``; returns the new bitmask.
+
+    >>> mat_vec(identity_matrix(4), 0b1010)
+    10
+    """
+    r = len(m)
+    bits = np.bitwise_count(m & np.uint64(v)) & np.uint64(1)
+    packed = np.bitwise_or.reduce(
+        bits << np.arange(r, dtype=np.uint64)
+    )
+    return int(packed)
+
+
+def mat_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Product ``a @ b`` over GF(2) on packed row bitmasks.
+
+    Row ``i`` of the product XORs together the rows of ``b`` selected
+    by the set bits of ``a``'s row ``i``.
+
+    >>> c = companion_matrix(0b1011)
+    >>> np.array_equal(mat_mul(c, identity_matrix(3)), c)
+    True
+    """
+    r = len(a)
+    select = (
+        (a[:, None] >> np.arange(r, dtype=np.uint64)[None, :])
+        & np.uint64(1)
+    )
+    return np.bitwise_xor.reduce(select * b[None, :], axis=1)
+
+
+def mat_square(m: np.ndarray) -> np.ndarray:
+    """``m @ m`` over GF(2) -- one rung of the power ladder."""
+    return mat_mul(m, m)
+
+
+def mat_pow(m: np.ndarray, e: int) -> np.ndarray:
+    """``m**e`` over GF(2) by square-and-multiply.
+
+    >>> from repro.gf2.poly import x_pow_mod
+    >>> g = 0b1011011
+    >>> mat_vec(mat_pow(companion_matrix(g), 1000), 1) == x_pow_mod(1000, g)
+    True
+    """
+    if e < 0:
+        raise ValueError("negative exponent")
+    result = identity_matrix(len(m))
+    base = m
+    while e:
+        if e & 1:
+            result = mat_mul(result, base)
+        base = mat_square(base)
+        e >>= 1
+    return result
+
+
+class PowerLadder:
+    """Cached squarings of a companion matrix for repeated jumps.
+
+    The ladder lazily extends ``C**(2**t)`` as far as the largest jump
+    ever requested, so a sequence of bisection probes against the same
+    polynomial shares one set of squarings.
+
+    >>> from repro.gf2.poly import x_pow_mod
+    >>> lad = PowerLadder(0x104C11DB7)  # CRC-32, degree 32
+    >>> lad.syndrome_at(0)
+    1
+    >>> lad.syndrome_at(12_000_000) == x_pow_mod(12_000_000, 0x104C11DB7)
+    True
+    """
+
+    def __init__(self, g: int) -> None:
+        self.g = g
+        self.r = degree(g)
+        _check_degree(self.r)
+        self._squares: list[np.ndarray] = [companion_matrix(g)]
+
+    def _square_upto(self, t: int) -> None:
+        while len(self._squares) <= t:
+            self._squares.append(mat_square(self._squares[-1]))
+
+    def jump(self, state: int, n: int) -> int:
+        """Advance ``state`` by ``n`` LFSR steps in ``O(r**2 log n)``."""
+        if n < 0:
+            raise ValueError("cannot jump backwards")
+        if n:
+            self._square_upto(n.bit_length() - 1)
+        t = 0
+        while n:
+            if n & 1:
+                state = mat_vec(self._squares[t], state)
+            t += 1
+            n >>= 1
+        return state
+
+    def syndrome_at(self, n: int) -> int:
+        """``x**n mod g`` -- the syndrome of a lone bit at position ``n``."""
+        return self.jump(1, n)
+
+
+_LADDERS: dict[int, PowerLadder] = {}
+_LADDER_CACHE_MAX = 256
+
+
+def ladder_for(g: int) -> PowerLadder:
+    """Shared per-polynomial :class:`PowerLadder` (bounded cache)."""
+    ladder = _LADDERS.get(g)
+    if ladder is None:
+        if len(_LADDERS) >= _LADDER_CACHE_MAX:
+            _LADDERS.clear()
+        ladder = _LADDERS[g] = PowerLadder(g)
+    return ladder

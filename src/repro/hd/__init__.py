@@ -21,6 +21,18 @@ Three engines are provided:
   syndrome tables, presence-map weight-2/3 screens, composite-key
   weight-4/5 matching) -- the engine behind the search's default
   ``backend="batched"``; record-identical to the scalar cascade.
+* :mod:`repro.hd.packed` -- bit-plane kernels one level down: syndrome
+  *bit-planes* packed 64 candidates per ``uint64`` word (one masked
+  XOR advances the whole batch one LFSR step) plus composite-key row
+  sorts for the weight-3 screen; the search's ``backend="packed"``,
+  again record-identical.
+
+Breakpoint extraction (:mod:`repro.hd.breakpoints`) runs on the
+:mod:`repro.hd.jump` engine: shared extend-only syndrome tables,
+verified early-exit straddle probes, and windowed-witness bisection,
+with GF(2) companion-matrix power ladders
+(:mod:`repro.gf2.matpow`) providing ``O(r**2 log n)`` random access
+to the syndrome sequence as an independent cross-check oracle.
 
 Exactness contract: every public result is exact.  Shortcuts (parity
 of (x+1)-divisible polynomials, order-of-x for weight 2) are theorems,
@@ -35,11 +47,23 @@ from repro.hd.batched import (
     extend_syndrome_tables,
     syndrome_tables_batched,
 )
+from repro.hd.jump import (
+    SpanCache,
+    first_failure_jump,
+    refine_span,
+    syndrome_at,
+    syndrome_window,
+)
 from repro.hd.mitm import (
     exists_weight_k,
     find_witness,
     windowed_witness,
     minimal_codeword_span,
+)
+from repro.hd.packed import (
+    PlaneState,
+    composite_tables,
+    syndrome_tables_packed,
 )
 from repro.hd.weights import (
     count_weight_2,
@@ -82,10 +106,18 @@ __all__ = [
     "PositionMap",
     "extend_syndrome_tables",
     "syndrome_tables_batched",
+    "SpanCache",
+    "first_failure_jump",
+    "refine_span",
+    "syndrome_at",
+    "syndrome_window",
     "exists_weight_k",
     "find_witness",
     "windowed_witness",
     "minimal_codeword_span",
+    "PlaneState",
+    "composite_tables",
+    "syndrome_tables_packed",
     "count_weight_2",
     "count_weight_3",
     "count_weight_4",

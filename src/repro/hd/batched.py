@@ -390,10 +390,54 @@ def weight3_witnesses(
     ]
 
 
+_PAIR_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+_PAIR_CACHE_SLOTS = 8
+
+
 def _pair_indices(N: int) -> tuple[np.ndarray, np.ndarray]:
-    """All pairs ``1 <= a < b < N`` as two index arrays."""
+    """All pairs ``1 <= a < b < N`` as two index arrays.
+
+    Memoized: a cascade re-enters each stage length once per batch, and
+    ``np.triu_indices`` rebuilds cost as much as a whole pair sweep.
+    Pair sets above :data:`PAIR_BUDGET` elements are returned uncached
+    rather than pinned (callers chunk by the same budget anyway).
+    Callers must treat the arrays as read-only.
+    """
+    hit = _PAIR_CACHE.get(N)
+    if hit is not None:
+        return hit
     a, b = np.triu_indices(N - 1, k=1)
-    return a + 1, b + 1
+    a += 1
+    b += 1
+    if len(a) <= PAIR_BUDGET:
+        while len(_PAIR_CACHE) >= _PAIR_CACHE_SLOTS:
+            _PAIR_CACHE.pop(next(iter(_PAIR_CACHE)))
+        _PAIR_CACHE[N] = (a, b)
+    return a, b
+
+
+_W5_SCRATCH = np.empty(0, dtype=np.uint8)
+_W5_EPOCH = 0
+
+
+def _w5_present_buffer(size: int) -> tuple[np.ndarray, np.uint8]:
+    """Reusable presence plane for the weight-5 bitmap match.
+
+    The buffer is epoch-stamped instead of re-zeroed (same trick as
+    :class:`PositionMap`): an entry is "present" iff it holds the
+    current epoch, so consecutive cascade stages and batches reuse one
+    allocation with no clearing scatter; a bulk wipe happens only when
+    the ``uint8`` epoch wraps.
+    """
+    global _W5_SCRATCH, _W5_EPOCH
+    if len(_W5_SCRATCH) < size:
+        _W5_SCRATCH = np.zeros(size, dtype=np.uint8)
+        _W5_EPOCH = 0
+    _W5_EPOCH += 1
+    if _W5_EPOCH == 256:
+        _W5_SCRATCH[:] = 0
+        _W5_EPOCH = 1
+    return _W5_SCRATCH, np.uint8(_W5_EPOCH)
 
 
 def weight4_exists(keys: BatchKeys, rows_mask: np.ndarray) -> np.ndarray:
@@ -444,11 +488,11 @@ def weight5_exists(keys: BatchKeys, rows_mask: np.ndarray) -> np.ndarray:
         if use_bitmap:
             # Pair values live in the same 2**r space as singles: one
             # scatter of the pair set, one gather at ``value ^ 1``.
-            present = np.zeros(m << keys.r, dtype=bool)
-            present[pk.ravel()] = True
-            out[sub] = present[(pk ^ np.uint64(1)).ravel()].reshape(
-                m, P
-            ).any(axis=1)
+            present, epoch = _w5_present_buffer(m << keys.r)
+            present[pk.ravel()] = epoch
+            out[sub] = (
+                present[(pk ^ np.uint64(1)).ravel()] == epoch
+            ).reshape(m, P).any(axis=1)
         else:
             flat = np.sort(pk, axis=1).ravel()
             q = (pk ^ np.uint64(1)).ravel()

@@ -9,9 +9,13 @@ quantity is the *first failure length*
 because ``HD(n) = min { k : f(k) <= n }``.  This module computes
 ``f(k)`` exactly using the paper's own search strategy -- probing at
 increasing lengths until the breakpoint is straddled (paper §4.1's
-"filtering with increasing lengths") -- and then, instead of the
-paper's binary subdivision, extracts the exact breakpoint from a
-single collect-all scan (:func:`repro.hd.mitm.minimal_codeword_span`).
+"filtering with increasing lengths") and then binary-searching the
+straddled interval.  The engine lives in :mod:`repro.hd.jump`: every
+probe of one polynomial reads a prefix of a single extend-only
+syndrome table (:class:`~repro.hd.jump.SpanCache`), geometric probes
+early-exit on their first verified witness, and the final breakpoint
+comes from windowed-witness bisection plus one collect-all scan at
+the tightened window (:func:`~repro.hd.jump.refine_span`).
 
 Inverse filtering (the paper's tool for proving that *no* polynomial
 achieves an HD at a length) appears here as :func:`refute_hd_at`,
@@ -20,7 +24,6 @@ which produces a concrete undetected-error witness.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.gf2.poly import degree, divisible_by_x_plus_1
@@ -30,12 +33,8 @@ from repro.hd.cost import (
     DEFAULT_STREAM_ELEMS,
     EnvelopeError,
 )
-from repro.hd.mitm import (
-    exists_weight_k,
-    find_witness,
-    minimal_codeword_span,
-    windowed_witness,
-)
+from repro.hd.jump import SpanCache, first_failure_jump
+from repro.hd.mitm import exists_weight_k, find_witness, windowed_witness
 from repro.hd.syndromes import extend_syndrome_table, syndrome_table
 
 import numpy as np
@@ -67,12 +66,18 @@ def first_failure_detailed(
     exploit_parity: bool = True,
     mem_elems: int = DEFAULT_MEM_ELEMS,
     stream_elems: int = DEFAULT_STREAM_ELEMS,
+    cache: SpanCache | None = None,
 ) -> FirstFailure:
     """Exact first-failure search with explicit envelope accounting.
 
     ``k == 2`` comes from the order of ``x`` (no search); odd ``k`` for
     (x+1)-divisible generators never fails (parity theorem; the
-    shortcut can be disabled for validation runs).
+    shortcut can be disabled for validation runs).  Everything else is
+    the jump engine: verified early-exit straddle probes and span
+    bisection on a shared syndrome table
+    (:func:`repro.hd.jump.first_failure_jump`).  Pass a
+    :class:`~repro.hd.jump.SpanCache` to reuse that table across
+    weights of the same polynomial.
     """
     r = degree(g)
     if k < 2:
@@ -82,56 +87,14 @@ def first_failure_detailed(
     if k == 2:
         n = order_of_x(g) + 1 - r
         return FirstFailure(n if n <= n_max else None, n_max)
-    n_limit = n_max + r
-    # Increasing-length probes until a codeword appears, never
-    # exceeding the largest window the work envelope affords (high
-    # weights cap early; they never bind the HD in practice, and the
-    # capped scan still clears as much length as it can).  Each probe
-    # is a full collect-all span scan: when it finds anything, the
-    # minimal span -- hence the exact first-failure length -- is
-    # already known, no follow-up pass needed.  Span scans verify
-    # every hit, so this entry point is safe without the ascending-k
-    # precondition (degenerate MITM matches are rejected).
-    from repro.hd.cost import max_affordable_window
-
-    affordable = max_affordable_window(k, mem_elems, stream_elems)
-    # High weights fail (if at all) at tiny lengths and their checks
-    # grow combinatorially with the window, so start small and grow
-    # gently; low weights start at the paper's 64-bit screen and
-    # double.
-    if k >= 12:
-        window = max(2 * k, r + 8)
-        growth = 1.25
-    elif k >= 9:
-        window = max(2 * k, r + 8)
-        growth = 1.5
-    else:
-        window = max(64, 2 * k, r + 2)
-        growth = 2.0
-    cleared = 0
-    while True:
-        capped_here = window >= min(affordable, n_limit) and affordable < n_limit
-        window = min(window, affordable, n_limit)
-        if window - r <= cleared and cleared > 0:
-            # no new ground affordable: cap
-            return FirstFailure(None, cleared, capped=True)
-        try:
-            span = minimal_codeword_span(
-                g, window, k, mem_elems=mem_elems, stream_elems=stream_elems
-            )
-        except EnvelopeError:  # pragma: no cover - affordable bound guards this
-            return FirstFailure(None, cleared, capped=True)
-        if span is not None:
-            n = span - r
-            if n <= n_max:
-                return FirstFailure(n, n - 1)
-            return FirstFailure(None, n_max)
-        cleared = max(window - r, 0)
-        if window >= n_limit:
-            return FirstFailure(None, min(cleared, n_max))
-        if capped_here:
-            return FirstFailure(None, cleared, capped=True)
-        window = int(window * growth) + 1
+    n, cleared, capped = first_failure_jump(
+        g, k,
+        n_max=n_max,
+        mem_elems=mem_elems,
+        stream_elems=stream_elems,
+        cache=cache,
+    )
+    return FirstFailure(n, cleared, capped=capped)
 
 
 def first_failure_length(
@@ -142,6 +105,7 @@ def first_failure_length(
     exploit_parity: bool = True,
     mem_elems: int = DEFAULT_MEM_ELEMS,
     stream_elems: int = DEFAULT_STREAM_ELEMS,
+    cache: SpanCache | None = None,
 ) -> int | None:
     """Exact smallest data-word length at which some weight-``k`` error
     goes undetected, or ``None`` if that never happens through
@@ -158,6 +122,7 @@ def first_failure_length(
         exploit_parity=exploit_parity,
         mem_elems=mem_elems,
         stream_elems=stream_elems,
+        cache=cache,
     )
     if out.capped:
         raise EnvelopeError(
@@ -269,6 +234,7 @@ def hd_breakpoint_table(
     lengths, the full Table 1 needs ``REPRO_FULL``-sized envelopes.
     """
     table = BreakpointTable(g=g, n_max=n_max)
+    cache = SpanCache(g)  # one LFSR sweep feeds every weight's probes
     for k in range(2, hd_max + 1):
         out = first_failure_detailed(
             g, k,
@@ -276,6 +242,7 @@ def hd_breakpoint_table(
             exploit_parity=exploit_parity,
             mem_elems=mem_elems,
             stream_elems=stream_elems,
+            cache=cache,
         )
         table.first_failure[k] = out.n
         if out.n is None:
@@ -301,6 +268,7 @@ def max_length_for_hd(
     2974
     """
     limit = n_max
+    cache = SpanCache(g)
     for k in range(2, hd):
         fn = first_failure_length(
             g, k,
@@ -308,6 +276,7 @@ def max_length_for_hd(
             exploit_parity=exploit_parity,
             mem_elems=mem_elems,
             stream_elems=stream_elems,
+            cache=cache,
         )
         if fn is not None:
             limit = min(limit, fn - 1)
@@ -416,16 +385,44 @@ def increasing_length_filter(
     ``[(length, survivors_after_stage), ...]`` -- the measurement the
     §4.1 discussion is about (most candidates die cheaply at short
     lengths).
+
+    Each surviving candidate carries its syndrome table (and its
+    order of ``x``) from stage to stage: ascending lengths *extend*
+    the table rather than rebuild it, so the LFSR cost of each prefix
+    is paid once per candidate, and killed candidates release their
+    tables immediately.  Peak memory is ``8 * (n_last + r)`` bytes per
+    candidate still alive at the final length.
     """
     lengths = sorted(lengths)
     survivors = list(candidates)
     stage_counts: list[tuple[int, int]] = []
+    syn_by_g: dict[int, "np.ndarray"] = {}
+    order_by_g: dict[int, int] = {}
     for n in lengths:
         still: list[int] = []
         for g in survivors:
-            if refute_hd_at(
-                g, hd_target, n, mem_elems=mem_elems, stream_elems=stream_elems
-            ) is None:
+            N = n + degree(g)
+            order = order_by_g.get(g)
+            if order is None:
+                order = order_by_g[g] = order_of_x(g)
+            if order <= N - 1:
+                refuted = True
+            else:
+                syn = syn_by_g.get(g)
+                syn = (
+                    syndrome_table(g, N)
+                    if syn is None
+                    else extend_syndrome_table(g, syn, N)
+                )
+                syn_by_g[g] = syn
+                refuted = _refute_weights(
+                    g, hd_target, N, syn,
+                    mem_elems=mem_elems, stream_elems=stream_elems,
+                ) is not None
+            if refuted:
+                syn_by_g.pop(g, None)
+                order_by_g.pop(g, None)
+            else:
                 still.append(g)
         survivors = still
         stage_counts.append((n, len(survivors)))

@@ -65,6 +65,12 @@ class RunReport:
     interruptions: int = 0
     drain_forfeits: int = 0
     stage_kills: dict[int, int] = field(default_factory=dict)
+    #: Per-kernel screening totals folded from ``search.batch.done``
+    #: events: ``{kernel: {"batches", "candidates", "seconds"}}``.
+    #: Lets a report attribute throughput to the scalar/batched/packed
+    #: backend that actually produced it (events from before the
+    #: kernel tag existed count as "batched" -- the only emitter then).
+    kernel_stats: dict[str, dict[str, float]] = field(default_factory=dict)
     active_seconds: float = 0.0
     busy_seconds: float = 0.0
     #: Per-chunk compute durations, folded from the ``seconds`` field
@@ -205,6 +211,15 @@ class RunReport:
                             total_chunks=tracker.total_chunks
                         )
                         tracker.observe(t, done_in_log)
+            elif event == "search.batch.done":
+                kernel = rec.get("kernel", "batched")
+                stats = report.kernel_stats.setdefault(
+                    kernel,
+                    {"batches": 0, "candidates": 0, "seconds": 0.0},
+                )
+                stats["batches"] += 1
+                stats["candidates"] += rec.get("batch", 0)
+                stats["seconds"] += rec.get("seconds", 0.0)
             elif event == "lease.grant":
                 report.lease_grants += 1
             elif event == "lease.renew":
@@ -313,6 +328,20 @@ class RunReport:
                 f"bailout efficiency {self.bailout_efficiency:.1%} "
                 "before the final length"
             )
+        if self.kernel_stats:
+            parts = []
+            for kernel in sorted(self.kernel_stats):
+                stats = self.kernel_stats[kernel]
+                rate = (
+                    stats["candidates"] / stats["seconds"]
+                    if stats["seconds"] > 0
+                    else 0.0
+                )
+                parts.append(
+                    f"{kernel} {int(stats['batches'])} batches at "
+                    f"{rate:.0f} cand/s ({stats['seconds']:.1f}s busy)"
+                )
+            lines.append(f"  kernels: {'; '.join(parts)}")
         if self.estimator_rate is not None:
             eta = self.estimator_eta_seconds
             eta_s = (
@@ -369,6 +398,14 @@ class RunReport:
                 "chunk_seconds_max": round(self.chunk_durations.max, 6),
                 "stage_kills": {
                     str(k): v for k, v in sorted(self.stage_kills.items())
+                },
+                "kernels": {
+                    kernel: {
+                        "batches": int(stats["batches"]),
+                        "candidates": int(stats["candidates"]),
+                        "seconds": round(stats["seconds"], 3),
+                    }
+                    for kernel, stats in sorted(self.kernel_stats.items())
                 },
             },
         }

@@ -102,7 +102,7 @@ def _screen_batch(
         # One span per cascade stage: n is the filter length, alive the
         # batch rows entering; killed annotated on close.
         stage_span = tracer.start(
-            "screen.stage", n=n, alive=len(alive_slot)
+            "screen.stage", n=n, alive=len(alive_slot), kernel="batched"
         )
         N = n + r
         tables = (
@@ -291,6 +291,7 @@ def screen_chunk_batched(
             )
         if metrics.enabled:
             metrics.inc("search.batches")
+            metrics.inc("search.batches.batched")
             for length, count in kills.items():
                 metrics.inc(f"search.batch_kill.{length}", count)
         events.emit(
@@ -301,5 +302,6 @@ def screen_chunk_batched(
             survivors=len(survivors),
             seconds=round(seconds, 6),
             stage_kills=kills,
+            kernel="batched",
         )
     return result

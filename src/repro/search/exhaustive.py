@@ -58,10 +58,15 @@ class SearchConfig:
 
     ``backend`` selects the screening engine: ``"batched"`` (default)
     filters candidates in vectorized blocks of up to ``batch_size``
-    (:mod:`repro.search.batched`); ``"scalar"`` is the one-at-a-time
-    reference path, kept as the differential-test oracle.  Both
-    produce identical records; widths beyond ``BATCHED_MAX_WIDTH``
-    silently use the scalar path.
+    (:mod:`repro.search.batched`); ``"packed"`` screens the same
+    blocks as bit-planes and narrow composite keys
+    (:mod:`repro.search.packed`) -- the fastest path for widths
+    through :data:`~repro.hd.packed.PACKED_MAX_WIDTH`; ``"scalar"``
+    is the one-at-a-time reference path, kept as the
+    differential-test oracle.  All three produce identical records;
+    ``"packed"`` silently falls back to the batched path beyond its
+    width envelope, and both fall back to scalar beyond
+    ``BATCHED_MAX_WIDTH``.
     """
 
     width: int
@@ -83,9 +88,10 @@ class SearchConfig:
             self.filter_lengths
         ):
             raise ValueError("filter_lengths must be a non-empty ascending sequence")
-        if self.backend not in ("batched", "scalar"):
+        if self.backend not in ("batched", "packed", "scalar"):
             raise ValueError(
-                f"backend must be 'batched' or 'scalar', got {self.backend!r}"
+                "backend must be 'batched', 'packed' or 'scalar', "
+                f"got {self.backend!r}"
             )
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -154,7 +160,10 @@ class ScreenResult:
     ``None`` at survivor slots; ``survivors`` carries
     ``(slot, poly, syn)`` where ``syn`` is the candidate's final-length
     syndrome table (screening already paid for it -- confirmation
-    reuses it instead of rebuilding).
+    reuses it instead of rebuilding).  The table's dtype is whatever
+    unsigned width the backend natively sweeps in (the packed kernel
+    keeps ``r``-bit values narrow); :func:`confirm_survivor` widens at
+    the point of use.
     """
 
     config: SearchConfig
@@ -233,6 +242,10 @@ def confirm_survivor(
     final length (optionally plus the exact low-weight profile),
     reusing the screening phase's syndrome table when provided."""
     n = config.final_length
+    if syn is not None and syn.dtype != np.uint64:
+        # Backends hand the table over in their native sweep width;
+        # the weight searches below key on uint64.
+        syn = syn.astype(np.uint64)
     hd = hamming_distance(
         g,
         n,
@@ -257,6 +270,28 @@ def confirm_survivor(
     )
 
 
+def effective_kernel(config: SearchConfig) -> str:
+    """The screening kernel :func:`screen_chunk` will actually run
+    after width fallbacks: the packed kernels cap at
+    :data:`~repro.hd.packed.PACKED_MAX_WIDTH`, the batched ones at
+    :data:`BATCHED_MAX_WIDTH`, and everything falls back to scalar.
+    Instrumentation tags (``screen.stage`` spans, ``search.batch.*``
+    metrics, ``search.chunk.done`` events) carry this value so reports
+    attribute throughput to the kernel that produced it.
+    """
+    if config.backend == "packed":
+        from repro.hd.packed import PACKED_MAX_WIDTH
+
+        if config.width <= PACKED_MAX_WIDTH:
+            return "packed"
+    if (
+        config.backend in ("batched", "packed")
+        and config.width <= BATCHED_MAX_WIDTH
+    ):
+        return "batched"
+    return "scalar"
+
+
 def screen_chunk(
     config: SearchConfig,
     start_index: int,
@@ -268,11 +303,22 @@ def screen_chunk(
     index range, dispatching to the configured backend.
 
     The batched backend screens ``config.batch_size`` candidates per
-    block of numpy ops (:mod:`repro.search.batched`); the scalar
-    backend -- also the fallback above ``BATCHED_MAX_WIDTH`` -- walks
-    candidates one at a time and serves as the differential oracle.
+    block of numpy ops (:mod:`repro.search.batched`); the packed
+    backend screens the same blocks as bit-planes and narrow
+    composite keys (:mod:`repro.search.packed`), falling back to the
+    batched path above :data:`~repro.hd.packed.PACKED_MAX_WIDTH`; the
+    scalar backend -- also the fallback above ``BATCHED_MAX_WIDTH``
+    -- walks candidates one at a time and serves as the differential
+    oracle.
     """
-    if config.backend == "batched" and config.width <= BATCHED_MAX_WIDTH:
+    kernel = effective_kernel(config)
+    if kernel == "packed":
+        from repro.search.packed import screen_chunk_packed
+
+        return screen_chunk_packed(
+            config, start_index, end_index, events=events
+        )
+    if kernel == "batched":
         from repro.search.batched import screen_chunk_batched
 
         return screen_chunk_batched(config, start_index, end_index, events=events)
@@ -339,6 +385,7 @@ def search_chunk(
         survivors=len(result.survivors),
         seconds=round(result.elapsed_seconds, 6),
         stage_kills=result.stage_kills,
+        kernel=effective_kernel(config),
     )
     return result
 

@@ -1,0 +1,324 @@
+"""Packed screening driver: the bit-plane / composite-key cascade.
+
+:func:`screen_chunk_packed` is the third interchangeable screening
+backend beside the scalar and batched paths, built on the kernels of
+:mod:`repro.hd.packed`:
+
+* **One sweep per batch.**  A :class:`~repro.hd.packed.ValueSweep`
+  fills a single position-major narrow-value buffer (uint16 for
+  ``r <= 16``) incrementally as the stages ask for longer windows.
+  Everything downstream is a slice of that buffer: under CPython the
+  binding cost of the cascade is per-step numpy *dispatch*, so one
+  4-op carried sweep beats the three sweeps the first packed driver
+  ran (a bit-plane weight-2 sweep, per-stage composite rebuilds, a
+  survivor-table sweep) -- see :class:`~repro.hd.packed.PlaneState`
+  for the plane layout, which remains the better story per unit of
+  arithmetic but not per unit of interpreter overhead.
+* **Weight 2** is a compare: the sweep's per-segment min-scan records
+  each lane's first ``register == 1`` position (= the order of
+  ``x``), so the stage kill is ``first_one <= N - 1`` and the witness
+  ``(0, order)`` is free.
+* **Weight 3** runs only on the lanes that can still die of it
+  (parity-immune and already-condemned lanes are excluded first).
+  Their buffer columns are cast to ``(value << pos_bits) | position``
+  composite keys (:func:`~repro.hd.packed.composite_from_values`,
+  sub-batched to :data:`~repro.hd.packed.COMPOSITE_BUDGET`); one SIMD
+  row sort makes partners adjacent, and witness positions ride in the
+  key's low bits, so extraction re-reads the same sorted rows.
+* **Weights 4/5 and the scalar tail** (``target_hd >= 5``) reuse the
+  batched machinery verbatim on uint64 casts of the same buffer --
+  these stages only run on the thin post-weight-3 remainder, so
+  exactness is shared and speed is irrelevant.
+
+Killed lanes stay in the buffer until a stage has condemned enough of
+the batch (a quarter or more) to make one gather of the filled rows
+cheaper than stepping the dead columns through the remaining stages;
+in between, the alive bookkeeping just stops indexing them.
+
+The output is record-for-record identical to both other backends --
+same survivors, same per-stage kill counts, same witnesses -- which
+``tests/search/test_packed.py`` asserts differentially on full
+canonical spaces and ``tools/packed_gate.py`` gates in CI.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.hd import batched as hd_batched
+from repro.hd.batched import BatchKeys, weight4_exists, weight5_exists
+from repro.hd.breakpoints import _refute_weights
+from repro.hd.cost import EnvelopeError, check_envelope
+from repro.hd.packed import (
+    COMPOSITE_BUDGET,
+    ValueSweep,
+    composite_from_values,
+    weight3_rows_packed,
+    weight3_witnesses_packed,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.events import NULL_EVENTS, NullEventLog
+from repro.search.batched import _witness_for, _workspace_for
+from repro.search.exhaustive import ScreenResult, SearchConfig
+from repro.search.records import PolyRecord
+from repro.search.space import canonical_mask, index_range_polys
+
+
+def _screen_batch_packed(
+    config: SearchConfig,
+    g_all: np.ndarray,
+    workspace: hd_batched.PositionMap | None = None,
+) -> tuple[list[PolyRecord | None], list[tuple[int, int, np.ndarray]], dict[int, int]]:
+    """Screen one batch of same-width candidates with the packed
+    kernels.  Same contract as the batched ``_screen_batch``:
+    ``(records, survivors, stage_kills)`` with ``records`` aligned to
+    ``g_all`` and ``survivors`` holding
+    ``(local_slot, poly, final_syndrome_row)``.
+    """
+    B = len(g_all)
+    r = config.width
+    hd = config.target_hd
+    records: list[PolyRecord | None] = [None] * B
+    kills: dict[int, int] = {}
+    tracer = obs_trace.active()
+    # (x+1) | g  <=>  even popcount: odd weights are immune (parity).
+    immune = (np.bitwise_count(g_all) & np.uint64(1)) == np.uint64(0)
+    alive_slot = np.arange(B)
+    g_alive = g_all
+    # One carried value sweep serves every stage of the cascade plus
+    # the survivors' final tables; lanes map alive rows to its columns
+    # (killed columns keep sweeping -- width is cheap, compaction
+    # copies are not).
+    capacity = max(
+        [config.final_length + r] + [n + r for n in config.filter_lengths]
+    )
+    sweep = ValueSweep(g_all, r, capacity)
+    lanes = np.arange(B)
+
+    for n in config.filter_lengths:
+        if len(alive_slot) == 0:
+            break
+        stage_span = tracer.start(
+            "screen.stage", n=n, alive=len(alive_slot), kernel="packed"
+        )
+        N = n + r
+        sweep.advance_to(N)
+        n_alive = len(alive_slot)
+        kill_weight = np.zeros(n_alive, dtype=np.int64)
+        witnesses: list[tuple[int, ...] | None] = [None] * n_alive
+        eligible = np.ones(n_alive, dtype=bool)
+
+        # Weight 2: the sweep's segment scans already know each lane's
+        # first "register == 1" position -- the order of x -- so the
+        # kill is a compare and the witness (0, order) is free.
+        first_one = sweep.first_one[lanes]
+        dup = (first_one >= 0) & (first_one <= N - 1)
+        if dup.any():
+            for row in np.flatnonzero(dup).tolist():
+                kill_weight[row] = 2
+                witnesses[row] = (0, int(first_one[row]))
+            eligible &= ~dup
+
+        # Weights 3..5, ascending (the exactness precondition of every
+        # screen below: lower even/odd weights already clean).
+        tail_k_min = 6
+        tables: np.ndarray | None = None
+        for k in (3, 4, 5):
+            if k >= hd or not eligible.any():
+                break
+            if k == 3:
+                mask = eligible & ~immune
+                cand = np.flatnonzero(mask)
+                rows_per = max(1, COMPOSITE_BUDGET // max(N, 1))
+                for c0 in range(0, len(cand), rows_per):
+                    rows = cand[c0 : c0 + rows_per]
+                    keys, pos_bits = composite_from_values(
+                        sweep.values(lanes[rows], N), r, N
+                    )
+                    keys.sort(axis=1)
+                    rh = weight3_rows_packed(keys, pos_bits)
+                    if not rh.any():
+                        continue
+                    killed_rows = rows[rh]
+                    wits = weight3_witnesses_packed(
+                        keys[rh], pos_bits, config.witness_window
+                    )
+                    misses = [i for i, w in enumerate(wits) if w is None]
+                    if misses:
+                        # No witness within the window: the full-window
+                        # extraction selects exactly what the scalar
+                        # fallback (find_witness) would.
+                        full = weight3_witnesses_packed(
+                            keys[rh][misses], pos_bits, N
+                        )
+                        for i, w in zip(misses, full):
+                            assert w is not None
+                            wits[i] = w
+                    for row, wit in zip(killed_rows.tolist(), wits):
+                        kill_weight[row] = 3
+                        witnesses[row] = wit
+                    eligible[killed_rows] = False
+            else:
+                try:
+                    check_envelope(N, k, config.mem_elems, config.stream_elems)
+                except EnvelopeError:
+                    # The scalar path would be envelope-bound here too;
+                    # delegate this weight and everything above it to
+                    # the per-row tail, which replicates it exactly.
+                    tail_k_min = k
+                    break
+                if tables is None:
+                    tables = sweep.values(lanes, N, np.uint64)
+                keys_b = BatchKeys(tables, r, workspace=workspace)
+                elig_k = eligible if k == 4 else (eligible & ~immune)
+                exists = (
+                    weight4_exists(keys_b, elig_k)
+                    if k == 4
+                    else weight5_exists(keys_b, elig_k)
+                )
+                mask = exists & elig_k
+                if mask.any():
+                    for row in np.flatnonzero(mask).tolist():
+                        g = int(g_alive[row])
+                        kill_weight[row] = k
+                        witnesses[row] = _witness_for(
+                            g, N, k, tables[row], config
+                        )
+                    eligible &= ~mask
+
+        if tail_k_min < hd and eligible.any():
+            if tables is None:
+                tables = sweep.values(lanes, N, np.uint64)
+            for row in np.flatnonzero(eligible).tolist():
+                g = int(g_alive[row])
+                refutation = _refute_weights(
+                    g,
+                    hd,
+                    N,
+                    tables[row],
+                    witness_window=config.witness_window,
+                    mem_elems=config.mem_elems,
+                    stream_elems=config.stream_elems,
+                    k_min=tail_k_min,
+                )
+                if refutation is not None:
+                    kill_weight[row], witnesses[row] = refutation
+
+        killed = kill_weight > 0
+        if killed.any():
+            kills[n] = int(killed.sum())
+            final_length = config.final_length
+            for row in np.flatnonzero(killed).tolist():
+                wit = witnesses[row]
+                assert wit is not None
+                records[int(alive_slot[row])] = PolyRecord(
+                    poly=int(g_alive[row]),
+                    width=r,
+                    data_word_bits=final_length,
+                    hd=int(kill_weight[row]),
+                    survived=False,
+                    filtered_at_bits=n,
+                    witness=tuple(map(int, wit)),
+                )
+            keep = ~killed
+            alive_slot = alive_slot[keep]
+            g_alive = g_alive[keep]
+            immune = immune[keep]
+            lanes = lanes[keep]
+            # The sweep is bandwidth-bound: once a stage has killed a
+            # real fraction of the batch, stepping the dead columns
+            # through the remaining positions costs more than one
+            # gather of the filled rows.  Compare the two -- dead
+            # columns times positions still to sweep against the
+            # filled-row gather (with a healthy factor for the
+            # gather's cache-hostile access pattern) -- so the early
+            # stages compact and the last stage, with nothing left to
+            # sweep, never pays for a pointless copy.
+            dead_work = (capacity - sweep.pos) * (sweep.B - len(lanes))
+            if dead_work > 4 * sweep.pos * max(len(lanes), 1):
+                sweep.compact(lanes)
+                lanes = np.arange(len(alive_slot))
+        stage_span.annotate(killed=kills.get(n, 0))
+        stage_span.end()
+
+    # Survivors get their final-length tables as slices of the sweep
+    # buffer, value-identical to the uint64 tables the batched backend
+    # carries through the cascade but kept in the narrow sweep dtype:
+    # confirm_survivor widens at the point of use, so the screen phase
+    # never pays for 4x the write traffic.
+    if len(alive_slot):
+        sweep.advance_to(config.final_length + r)
+        final_tables = sweep.values(lanes, config.final_length + r)
+    else:
+        final_tables = np.empty((0, config.final_length + r), dtype=sweep.dtype)
+    survivors = [
+        (int(alive_slot[i]), int(g_alive[i]), final_tables[i])
+        for i in range(len(alive_slot))
+    ]
+    return records, survivors, kills
+
+
+def screen_chunk_packed(
+    config: SearchConfig,
+    start_index: int,
+    end_index: int,
+    *,
+    events: NullEventLog = NULL_EVENTS,
+) -> ScreenResult:
+    """Packed screening of a dense candidate-index range.
+
+    Emits the same per-block instrumentation as the batched driver
+    (``search.batch.done`` events, ``search.batches`` /
+    ``search.batch_kill.{length}`` metrics), tagged
+    ``kernel="packed"`` so reports can attribute throughput per
+    backend.
+    """
+    polys = index_range_polys(config.width, start_index, end_index)
+    polys = polys[canonical_mask(config.width, polys)]
+    # The weight-4/5 stages reuse the batched composite-key machinery,
+    # whose keys pack the row index above the r syndrome bits.
+    batch_size = min(config.batch_size, 1 << (64 - config.width))
+    result = ScreenResult(config=config)
+    metrics = obs_metrics.active()
+    map_elems = min(batch_size, len(polys)) << config.width
+    workspace = (
+        _workspace_for(map_elems)
+        if config.target_hd > 4 and 0 < map_elems <= hd_batched.BITMAP_BUDGET
+        else None
+    )
+    for base in range(0, len(polys), batch_size):
+        g_batch = polys[base : base + batch_size]
+        t0 = time.perf_counter()
+        records, survivors, kills = _screen_batch_packed(
+            config, g_batch, workspace
+        )
+        seconds = time.perf_counter() - t0
+        offset = len(result.records)
+        result.records.extend(records)
+        result.survivors.extend(
+            (offset + slot, g, syn) for slot, g, syn in survivors
+        )
+        result.examined += len(g_batch)
+        for length, count in kills.items():
+            result.stage_kills[length] = (
+                result.stage_kills.get(length, 0) + count
+            )
+        if metrics.enabled:
+            metrics.inc("search.batches")
+            metrics.inc("search.batches.packed")
+            for length, count in kills.items():
+                metrics.inc(f"search.batch_kill.{length}", count)
+        events.emit(
+            "search.batch.done",
+            start=start_index,
+            end=end_index,
+            batch=len(g_batch),
+            survivors=len(survivors),
+            seconds=round(seconds, 6),
+            stage_kills=kills,
+            kernel="packed",
+        )
+    return result

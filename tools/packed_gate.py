@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Packed-kernel identity gate: bit-plane census vs the scalar oracle.
+
+The CI-sized sibling of ``benchmarks/bench_batched_search.py``: run the
+width-10 full canonical space (256 candidates) through the packed
+(bit-plane / composite-key) backend and through the scalar cascade,
+and assert the census is *bit-identical* -- every record's kill
+weight, kill stage and witness, every survivor, every per-stage kill
+count.  A second sweep at HD 5 routes the packed backend through the
+batched weight-4/5 machinery on materialized tables, and a batch-size-7
+pass exercises lane compaction across word boundaries.
+
+Two independent spot-check oracles ride along:
+
+* ``repro.gf2.matpow``: the GF(2) companion-matrix ladder must agree
+  with the big-int square-and-multiply ``x_pow_mod`` at large n.
+* ``repro.hd.jump``: the bisecting breakpoint engine must reproduce
+  the CRC-32 HD=4 breakpoint (2974/2975) from the paper's Table 1.
+
+Exit status 0 iff every census and every oracle agrees
+(`make packed-gate`, wired into CI alongside tier-1).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import replace
+
+from repro.gf2.matpow import ladder_for
+from repro.gf2.notation import koopman_to_full
+from repro.gf2.poly import x_pow_mod
+from repro.hd.breakpoints import first_failure_length, max_length_for_hd
+from repro.search.exhaustive import (
+    SearchConfig,
+    expected_examined,
+    search_chunk,
+)
+
+SWEEPS = (
+    ("width-10 hd4", SearchConfig.for_bits(10, 4, 160)),
+    ("width-10 hd5", SearchConfig.for_bits(10, 5, 120)),
+    ("width-10 hd4 batch7", SearchConfig.for_bits(10, 4, 160, batch_size=7)),
+)
+
+
+def census(config: SearchConfig, backend: str):
+    end = 1 << (config.width - 1)
+    t0 = time.perf_counter()
+    result = search_chunk(replace(config, backend=backend), 0, end)
+    return time.perf_counter() - t0, result
+
+
+def diff_census(label, packed, scalar, failures):
+    if packed.examined != scalar.examined:
+        failures.append(
+            f"{label}: examined {packed.examined} != {scalar.examined}"
+        )
+        return
+    if packed.stage_kills != scalar.stage_kills:
+        failures.append(
+            f"{label}: stage kills {packed.stage_kills} "
+            f"!= {scalar.stage_kills}"
+        )
+    for rp, rs in zip(packed.records, scalar.records):
+        if rp != rs:
+            failures.append(
+                f"{label}: record mismatch at {rp.poly:#x}: {rp} != {rs}"
+            )
+            return
+
+
+def main() -> int:
+    failures: list[str] = []
+    for label, cfg in SWEEPS:
+        tp, packed = census(cfg, "packed")
+        ts, scalar = census(cfg, "scalar")
+        diff_census(label, packed, scalar, failures)
+        expect = expected_examined(cfg.width)
+        if packed.examined != expect:
+            failures.append(
+                f"{label}: census covered {packed.examined}, "
+                f"expected {expect}"
+            )
+        survivors = sum(r.survived for r in packed.records)
+        print(
+            f"{label:22s} {packed.examined} candidates, "
+            f"{survivors} survive, packed {tp:.3f}s / scalar {ts:.3f}s"
+        )
+
+    # Independent oracle 1: matrix ladder vs big-int exponentiation.
+    g = koopman_to_full(0x82608EDB)  # CRC-32
+    ladder = ladder_for(g)
+    for n in (1, 63, 64, 4096, 12_112, 10**9, 10**15):
+        jumped = ladder.syndrome_at(n)
+        direct = x_pow_mod(n, g)
+        if jumped != direct:
+            failures.append(
+                f"matpow: x^{n} mod g: {jumped:#x} != {direct:#x}"
+            )
+    print("matpow ladder vs x_pow_mod at n up to 1e15: OK")
+
+    # Independent oracle 2: the jump engine must land on the paper's
+    # CRC-32 HD=4/5 breakpoint (2974 data bits at HD 5).
+    ff = first_failure_length(g, 4, n_max=4000)
+    ml = max_length_for_hd(g, 5, n_max=4000)
+    if (ff, ml) != (2975, 2974):
+        failures.append(
+            f"jump engine: CRC-32 breakpoint ({ff}, {ml}) != (2975, 2974)"
+        )
+    print(f"jump engine CRC-32 breakpoint: first HD<5 failure at {ff}, OK")
+
+    if failures:
+        print(f"\n{len(failures)} MISMATCH(ES):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\npacked census bit-identical to scalar oracle: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
