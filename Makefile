@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-all verify docs-check chaos-smoke bench bench-smoke backend-gate packed-gate service-smoke dash-smoke bench-full repro examples clean
+.PHONY: install test test-all verify docs-check chaos-smoke farm-smoke farm-chaos bench bench-smoke backend-gate packed-gate service-smoke dash-smoke bench-full repro examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,6 +39,21 @@ docs-check:
 # run, and a poison chunk must end quarantined.  docs/RESILIENCE.md.
 chaos-smoke:
 	$(PY) tools/chaos_campaign.py --seed 2002
+
+# Multi-host farm gate, fault-free: a real WorkServer coordinator and
+# three WorkClient workers over the loopback transport must finish a
+# campaign bit-identical to the direct single-process merge, with the
+# per-worker books balancing.  docs/FARM.md.
+farm-smoke:
+	$(PY) tools/farm_smoke.py
+
+# Multi-host farm gauntlet: the same farm under a seeded network
+# disaster -- severed connection, dropped + duplicated completions, a
+# worker killed while holding a lease, and a coordinator SIGTERM +
+# checkpoint restart -- must still produce a bit-identical record,
+# with the event log proving every fault fired.  docs/FARM.md.
+farm-chaos:
+	$(PY) tools/chaos_farm.py --seed 2002
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,106 @@
+"""Coordination overhead of the network farm backend.
+
+The farm exists for machines the pool backend cannot reach, so the
+question this exhibit answers is: what does the NDJSON protocol cost
+over doing the same work inline?  A small exhaustive campaign runs
+three ways -- single-process reference, a 1-worker loopback farm
+(pure protocol overhead), and a 3-worker loopback farm -- and every
+variant must produce the identical campaign record.  The loopback
+transport keeps the numbers about framing, leasing and heartbeats
+rather than kernel socket buffers; per-chunk wall time and protocol
+overhead land in ``results/net_farm.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from conftest import once
+from repro.dist.net import WorkClient, WorkServer
+from repro.dist.tasks import partition_space
+from repro.dist.transport import LoopbackTransport
+from repro.search.exhaustive import SearchConfig, search_chunk
+from repro.search.records import CampaignRecord
+
+CFG = SearchConfig.for_bits(10, 4, 300)
+CHUNK_SIZE = 32  # 2**9 candidates -> 16 chunks
+
+
+def run_reference() -> tuple[float, CampaignRecord]:
+    t0 = time.perf_counter()
+    record = CampaignRecord(
+        width=CFG.width,
+        data_word_bits=CFG.final_length,
+        target_hd=CFG.target_hd,
+    )
+    for task in partition_space(CFG.width, CHUNK_SIZE):
+        res = search_chunk(CFG, task.start_index, task.end_index)
+        record.merge_chunk(task.chunk_id, res.records, res.examined)
+    return time.perf_counter() - t0, record
+
+
+def run_farm(workers: int) -> tuple[float, WorkServer]:
+    transport = LoopbackTransport()
+    server = WorkServer(
+        CFG,
+        CHUNK_SIZE,
+        transport,
+        lease_duration=30.0,
+        handle_signals=False,
+        max_seconds=600.0,
+    )
+    clients = [
+        WorkClient("loopback:0", transport, f"bench-w{i}")
+        for i in range(workers)
+    ]
+
+    async def farm():
+        return await asyncio.gather(
+            server.serve(), *[c.run() for c in clients]
+        )
+
+    t0 = time.perf_counter()
+    rcs = asyncio.run(farm())
+    elapsed = time.perf_counter() - t0
+    assert rcs == [0] * (workers + 1)
+    return elapsed, server
+
+
+def test_farm_overhead(benchmark, record):
+    def sweep():
+        ref_elapsed, ref_record = run_reference()
+        farms = {workers: run_farm(workers) for workers in (1, 3)}
+        return ref_elapsed, ref_record, farms
+
+    ref_elapsed, ref_record, farms = once(benchmark, sweep)
+    ref_json = ref_record.to_json()
+    for workers, (elapsed, server) in farms.items():
+        # Correctness first: every farm size produces the identical
+        # campaign record, byte for byte.
+        assert server.queue.all_done
+        assert server.campaign.to_json() == ref_json
+        assert server.stats.duplicate_deliveries == 0
+
+    chunks = len(farms[1][1].queue)
+    solo_elapsed = farms[1][0]
+    # The 1-worker farm does the reference's work plus every protocol
+    # round trip: the difference, per chunk, is the coordination tax.
+    overhead_ms = max(solo_elapsed - ref_elapsed, 0.0) * 1000.0 / chunks
+    record("net_farm", {
+        "width": CFG.width,
+        "final_length": CFG.final_length,
+        "chunks": chunks,
+        "candidates": ref_record.candidates_examined,
+        "wall_seconds": {
+            "reference": round(ref_elapsed, 3),
+            "farm_1_worker": round(solo_elapsed, 3),
+            "farm_3_workers": round(farms[3][0], 3),
+        },
+        "protocol_overhead_ms_per_chunk": round(overhead_ms, 2),
+    })
+    # Guardrail, not a race: leasing a chunk over the farm protocol
+    # must stay well under the cost of computing one.
+    assert overhead_ms < 250.0, (
+        f"protocol overhead {overhead_ms:.1f}ms per chunk"
+    )

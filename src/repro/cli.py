@@ -10,6 +10,8 @@ would be consumed by a practitioner choosing a CRC:
     python -m repro search --width 8 --target-hd 4 --bits 100
     python -m repro campaign --width 10 --target-hd 4 --bits 200 --workers 4
     python -m repro campaign --width 10 --parallel 2 --events run.jsonl
+    python -m repro serve --width 10 --bits 200 --port 7337 --checkpoint farm.ckpt
+    python -m repro work coordinator.lab:7337
     python -m repro dash run.jsonl --follow
     python -m repro report run.jsonl
     python -m repro crc CRC-32/IEEE-802.3 --hex 313233343536373839
@@ -334,6 +336,124 @@ def _run_simulated_campaign(args: argparse.Namespace, cfg: SearchConfig) -> int:
     return _finish_campaign(coord.queue.quarantined_ids, None)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.dist.checkpoint import (
+        CheckpointCorrupt,
+        CheckpointMismatch,
+        CheckpointMissing,
+    )
+    from repro.dist.net import WorkServer
+    from repro.dist.transport import TcpTransport
+
+    cfg = SearchConfig.for_bits(
+        args.width, args.target_hd, args.bits, backend=args.backend
+    )
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    with _open_events(args.events) as events:
+        server = WorkServer(
+            cfg,
+            args.chunk_size,
+            TcpTransport(args.host, args.port),
+            lease_duration=args.lease,
+            max_attempts=args.max_attempts,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            worker_fault_budget=args.worker_fault_budget,
+            drain_grace=args.drain_grace,
+            progress_interval=args.progress_interval,
+            events=events,
+            collect_metrics=args.metrics,
+            log=print,
+        )
+        try:
+            if args.resume:
+                skipped = server.resume(
+                    retry_quarantined=args.retry_quarantined
+                )
+                print(
+                    f"resumed from {args.checkpoint}: {skipped} chunks skipped"
+                )
+            asyncio.run(server.serve())
+        except CheckpointMissing as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        except CheckpointCorrupt as exc:
+            print(
+                f"cannot resume: {exc}\n"
+                "every checkpoint generation failed verification; start a "
+                "fresh run (without --resume) to recompute",
+                file=sys.stderr,
+            )
+            return 2
+        except CheckpointMismatch as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    print(server.queue.progress())
+    print(
+        f"{len(server.campaign.survivors)} survivors; "
+        f"{server.stats.completions} chunks computed by "
+        f"{len(server.workers)} worker(s)"
+    )
+    for name in sorted(server.workers):
+        book = server.workers[name]
+        line = (
+            f"  {name}: {book.chunks} chunks, {book.examined} candidates, "
+            f"{book.connections} connection(s)"
+        )
+        if book.lease_losses or book.expiries:
+            line += (
+                f", {book.expiries} expirie(s), "
+                f"{book.lease_losses} lease loss(es)"
+            )
+        if book.benched:
+            line += " [benched]"
+        print(line)
+    if args.checkpoint:
+        print(f"campaign record written to {args.checkpoint}")
+    if args.metrics:
+        print("worker metrics (merged):")
+        print(server.metrics.render())
+    return _finish_campaign(server.queue.quarantined_ids, server.interrupted)
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    import asyncio
+    import socket
+
+    from repro.dist.net import WorkClient, WorkerKilled
+    from repro.dist.transport import TcpTransport
+
+    worker_id = args.id or f"{socket.gethostname()}-{os.getpid()}"
+    client = WorkClient(
+        args.address,
+        TcpTransport(),
+        worker_id,
+        ack_timeout=args.ack_timeout,
+        reconnect_base=args.reconnect_base,
+        max_connect_attempts=args.max_connect_attempts,
+        handle_signals=True,
+        log=lambda msg: print(msg, file=sys.stderr, flush=True),
+    )
+    try:
+        rc = asyncio.run(client.run())
+    except ValueError as exc:  # malformed host:port
+        print(str(exc), file=sys.stderr)
+        return 2
+    except WorkerKilled:  # only reachable under an injected fault plan
+        return 1
+    print(
+        f"{worker_id}: {client.stats.chunks} chunks, "
+        f"{client.stats.examined} candidates, "
+        f"{client.stats.reconnects} reconnect(s), "
+        f"{client.stats.lease_losses} lease loss(es)"
+    )
+    return rc
+
+
 def cmd_dash(args: argparse.Namespace) -> int:
     from repro.obs.live import run_dash
 
@@ -574,6 +694,73 @@ def build_parser() -> argparse.ArgumentParser:
                         "in-flight chunks before forfeiting them "
                         "(--parallel only)")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("serve", parents=[observability],
+                       help="campaign coordinator: lease chunks to "
+                            "`repro work` clients over TCP "
+                            "(repro-work/1 protocol)")
+    p.add_argument("--width", type=int, default=10)
+    p.add_argument("--target-hd", type=int, default=4)
+    p.add_argument("--bits", type=int, default=200)
+    p.add_argument("--backend", choices=["batched", "packed", "scalar"],
+                   default="batched",
+                   help="screening kernel advertised to every worker "
+                        "in the hello handshake")
+    p.add_argument("--chunk-size", type=int, default=64)
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind address (default loopback; use "
+                        "0.0.0.0 for a real farm)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port; 0 (default) binds an ephemeral "
+                        "port, announced as `work.listening host=H "
+                        "port=P` on stdout")
+    p.add_argument("--lease", type=float, default=30.0,
+                   help="seconds a worker holds a chunk before a "
+                        "silent lease is reclaimed (workers heartbeat "
+                        "at a third of this)")
+    p.add_argument("--checkpoint", type=str, default=None,
+                   help="write campaign progress here every "
+                        "--checkpoint-every completions and at exit")
+    p.add_argument("--checkpoint-every", type=int, default=8,
+                   help="completions between periodic checkpoints")
+    p.add_argument("--resume", action="store_true",
+                   help="load --checkpoint first and skip its "
+                        "completed chunks")
+    p.add_argument("--retry-quarantined", action="store_true",
+                   help="on --resume, grant checkpointed quarantined "
+                        "chunks a fresh retry budget")
+    p.add_argument("--max-attempts", type=int, default=5,
+                   help="retry budget per chunk before quarantine "
+                        "(0 = retry forever)")
+    p.add_argument("--worker-fault-budget", type=int, default=0,
+                   help="bench a worker after this many of its leases "
+                        "expire (0 = never bench)")
+    p.add_argument("--drain-grace", type=float, default=5.0,
+                   help="seconds a SIGTERM/SIGINT drain waits for "
+                        "in-flight chunks before forfeiting them")
+    p.add_argument("--progress-interval", type=float, default=10.0,
+                   help="seconds between progress summary lines")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("work",
+                       help="farm worker: lease, compute and report "
+                            "chunks from a `repro serve` coordinator")
+    p.add_argument("address", metavar="host:port",
+                   help="the coordinator's announced address")
+    p.add_argument("--id", default=None,
+                   help="worker id (default hostname-pid); the "
+                        "coordinator keys leases and accounting by it")
+    p.add_argument("--ack-timeout", type=float, default=None,
+                   help="seconds to wait for a reply before treating "
+                        "the connection as dead (default: the "
+                        "coordinator's lease duration)")
+    p.add_argument("--reconnect-base", type=float, default=0.2,
+                   help="first reconnect backoff in seconds (doubles "
+                        "per attempt, jittered deterministically)")
+    p.add_argument("--max-connect-attempts", type=int, default=8,
+                   help="consecutive failed connections before giving "
+                        "up with exit code 1")
+    p.set_defaults(fn=cmd_work)
 
     p = sub.add_parser("dash",
                        help="live terminal dashboard over an --events "

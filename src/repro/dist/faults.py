@@ -74,6 +74,31 @@ class FaultPlan:
     ``kill_signal_after = n`` -- deliver SIGTERM to the coordinator
     process after its n-th chunk completion, exercising the graceful
     drain + final checkpoint path.
+
+    Network fields (keyed by the worker's connection *label*; consumed
+    by :class:`repro.dist.transport.FaultyTransport` and
+    :class:`repro.dist.net.WorkClient`):
+
+    ``net_sever_after[w] = n`` -- worker ``w``'s *first* connection is
+    severed right before its n-th outbound frame (0-based); later
+    connections from the same label are healthy (the network blipped
+    once, the client must reconnect and recover).
+
+    ``net_drop_complete[w] = {k, ...}`` -- worker ``w``'s k-th
+    ``complete`` frame (0-based, counting completes only) vanishes in
+    flight: the server never sees it, the client's ack times out and
+    it must reconnect and resend.
+
+    ``net_duplicate_complete[w] = {k, ...}`` -- worker ``w``'s k-th
+    ``complete`` frame is delivered twice; the coordinator's
+    idempotent merge must count it once.
+
+    ``net_delay[w] = seconds`` -- every frame from worker ``w`` is
+    delayed by that long (straggler/latency pressure on leases).
+
+    ``net_kill_after[w] = n`` -- worker ``w`` dies abruptly (no
+    ``bye``, connection dropped) after its n-th successful completion
+    (1-based): its leases must expire server-side and be reclaimed.
     """
 
     crash_points: dict[str, int] = field(default_factory=dict)
@@ -84,6 +109,11 @@ class FaultPlan:
     poison_chunks: set[int] = field(default_factory=set)
     corrupt_checkpoint_after: int | None = None
     kill_signal_after: int | None = None
+    net_sever_after: dict[str, int] = field(default_factory=dict)
+    net_drop_complete: dict[str, set[int]] = field(default_factory=dict)
+    net_duplicate_complete: dict[str, set[int]] = field(default_factory=dict)
+    net_delay: dict[str, float] = field(default_factory=dict)
+    net_kill_after: dict[str, int] = field(default_factory=dict)
 
     # -- simulated-backend queries (legacy conventions) ----------------
 
@@ -117,6 +147,27 @@ class FaultPlan:
             chunk_id in self.kill_chunks
             or self.crash_points.get(POOL_KILL) == chunk_id
         )
+
+    # -- network queries (transport wrapper / client conventions) ------
+
+    def net_severs(self, label: str, connection: int, frame: int) -> bool:
+        """Sever this outbound frame?  First connection only."""
+        return connection == 0 and self.net_sever_after.get(label) == frame
+
+    def net_drops_complete(self, label: str, nth_complete: int) -> bool:
+        return nth_complete in self.net_drop_complete.get(label, ())
+
+    def net_duplicates_complete(self, label: str, nth_complete: int) -> bool:
+        return nth_complete in self.net_duplicate_complete.get(label, ())
+
+    def net_delay_for(self, label: str) -> float:
+        return self.net_delay.get(label, 0.0)
+
+    def net_kills(self, label: str, completions: int) -> bool:
+        """Should this worker die abruptly now (after ``completions``
+        successful chunk completions)?"""
+        n = self.net_kill_after.get(label)
+        return n is not None and completions >= n
 
     # -- seeded generators ---------------------------------------------
 
@@ -173,6 +224,50 @@ class FaultPlan:
         plan.kill_chunks = set(ids[n_crash:n_crash + kill_count])
         if duplicate and chunks:
             plan.duplicate_completions[POOL_CRASH] = rng.randrange(chunks)
+        return plan
+
+    @classmethod
+    def farm_chaos_plan(
+        cls,
+        seed: int,
+        workers: list[str],
+        *,
+        sever: bool = True,
+        drop: bool = True,
+        duplicate: bool = True,
+        kill: bool = True,
+    ) -> "FaultPlan":
+        """A reproducible network chaos schedule over a worker farm:
+        one worker dies abruptly while *holding* a fresh lease (the
+        reaper must reclaim it), one connection is severed
+        mid-protocol (reconnect + resend), and one worker has its
+        first ``complete`` dropped (ack timeout) *and* the resend
+        duplicated (idempotent merge) -- chaining the drop into the
+        duplicate makes both deterministic: the resend is the next
+        complete ordinal, so it is always the frame that duplicates.
+        The kill victim and the sever target are kept distinct from
+        the drop/duplicate worker when the farm is big enough, so
+        each recovery path is exercised on a live worker.
+        Deterministic in ``(seed, workers)`` (property-tested)."""
+        rng = random.Random(seed)
+        order = list(workers)
+        rng.shuffle(order)
+        plan = cls()
+        if kill and order:
+            victim = order.pop()
+            plan.net_kill_after[victim] = 1 + rng.randrange(2)
+        pool = order or list(workers)
+        if sever and pool:
+            plan.net_sever_after[pool[0]] = 2 + rng.randrange(4)
+        flaky = pool[-1]
+        if drop:
+            plan.net_drop_complete.setdefault(flaky, set()).add(0)
+        if duplicate:
+            # Ordinal 1 is the dropped frame's resend (or the second
+            # completion when drops are disabled).
+            plan.net_duplicate_complete.setdefault(flaky, set()).add(
+                1 if drop else 0
+            )
         return plan
 
 

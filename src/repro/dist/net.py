@@ -1,0 +1,1259 @@
+"""The multi-host campaign tier: ``repro serve`` / ``repro work``.
+
+The paper's numbers came from ~80 workstations grinding for three
+months; this module is the coordinator that shape of campaign needs.
+A :class:`WorkServer` owns the one :class:`~repro.dist.queue.TaskQueue`
+and :class:`~repro.search.records.CampaignRecord`; remote
+:class:`WorkClient` processes lease chunks over the ``repro-work/1``
+NDJSON protocol, compute them with the same
+:func:`~repro.search.exhaustive.search_chunk` the pool backend uses,
+and mail the results -- plus their obs snapshots -- home.
+
+Protocol (one JSON object per line, framing from
+:mod:`repro.net_common`, transports from :mod:`repro.dist.transport`;
+full spec in docs/FARM.md).  Client requests carry ``op``, ``seq``
+(echoed in the reply, so duplicated/delayed replies are discardable)
+and ``worker``; the verbs are:
+
+``hello``    version handshake; the reply carries the campaign's
+             :class:`~repro.search.exhaustive.SearchConfig`, chunk
+             size and lease duration, so workers need zero local
+             configuration.
+``lease``    claim the next chunk (reply: bounds + lease ``epoch``),
+             or learn the queue is ``idle`` (retry later),
+             ``draining`` (coordinator is shutting down) or ``done``.
+``renew``    heartbeat an in-flight lease.  A definitive ``lost``
+             verdict (:class:`~repro.dist.queue.LeaseLost`) tells the
+             worker to abandon the chunk.
+``complete`` deliver a chunk result.  Idempotent: replays and
+             duplicates are acknowledged but merge nothing
+             (``merged: false``).
+``snapshot`` mail obs metrics/spans home outside a completion.
+``bye``      clean goodbye (reply, then close).
+
+Robustness model -- every failure is somebody's everyday:
+
+* a worker that vanishes mid-chunk stops heartbeating; the server's
+  reaper sweep expires the lease and the chunk re-pends (with the
+  queue's usual backoff/quarantine budgets);
+* a worker that *reconnects* resends its unacknowledged completion;
+  the merge is keyed by chunk id, so the replay is a no-op if the
+  chunk was completed elsewhere meanwhile;
+* duplicated frames are absorbed by the same idempotence; delayed
+  replies are discarded by ``seq`` matching;
+* a drain signal (SIGTERM/SIGINT) stops leasing, answers in-flight
+  completions for ``drain_grace`` seconds, checkpoints (format 3),
+  and exits; ``resume`` picks the campaign back up;
+* per-worker fault budgets bench a host whose leases keep expiring,
+  so one flaky machine cannot burn every chunk's retry budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import random
+import signal as signal_module
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.dist import checkpoint as checkpoint_io
+from repro.dist.checkpoint import CheckpointMismatch
+from repro.dist.faults import FaultPlan, corrupt_file
+from repro.dist.progress import ProgressTracker
+from repro.dist.queue import LeaseLost, TaskQueue
+from repro.dist.tasks import SearchTask, partition_space
+from repro.dist.transport import Connection, ConnectionLost, Transport
+from repro.net_common import FrameError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.events import NULL_EVENTS, NullEventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACE, Tracer
+from repro.search.exhaustive import SearchConfig, SearchResult, search_chunk
+from repro.search.records import CampaignRecord, PolyRecord
+
+#: Protocol identifier exchanged in ``hello``; bump on wire changes.
+PROTOCOL = "repro-work/1"
+
+
+class WorkProtocolError(Exception):
+    """A malformed or unserviceable work-protocol request; ``code``
+    is the machine-readable discriminant carried on the wire."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class WorkerKilled(RuntimeError):
+    """Raised inside a :class:`WorkClient` when the fault plan says
+    this worker dies abruptly now (no ``bye``, no cleanup)."""
+
+
+# -- wire codecs -------------------------------------------------------
+
+
+def config_to_wire(config: SearchConfig) -> dict[str, Any]:
+    d = dataclasses.asdict(config)
+    d["filter_lengths"] = list(config.filter_lengths)
+    return d
+
+
+def config_from_wire(d: dict[str, Any]) -> SearchConfig:
+    d = dict(d)
+    d["filter_lengths"] = tuple(d["filter_lengths"])
+    return SearchConfig(**d)
+
+
+def result_to_wire(result: SearchResult) -> dict[str, Any]:
+    return {
+        "records": [r.to_json_dict() for r in result.records],
+        "examined": result.examined,
+        "stage_kills": {str(k): v for k, v in result.stage_kills.items()},
+        "elapsed": result.elapsed_seconds,
+    }
+
+
+def result_from_wire(d: Any, config: SearchConfig) -> SearchResult:
+    """Parse a ``complete`` frame's result payload; raises
+    :class:`WorkProtocolError` (``bad-field``) on anything that does
+    not decode -- remote input is untrusted."""
+    if not isinstance(d, dict):
+        raise WorkProtocolError("bad-field", "field 'result' must be an object")
+    try:
+        records = [PolyRecord.from_json_dict(r) for r in d.get("records", [])]
+        examined = int(d.get("examined", 0))
+        stage_kills = {
+            int(k): int(v) for k, v in dict(d.get("stage_kills", {})).items()
+        }
+        elapsed = float(d.get("elapsed", 0.0))
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise WorkProtocolError(
+            "bad-field", f"undecodable result payload: {exc}"
+        ) from None
+    return SearchResult(
+        config=config,
+        records=records,
+        examined=examined,
+        stage_kills=stage_kills,
+        elapsed_seconds=elapsed,
+    )
+
+
+def _int_field(req: dict, name: str, minimum: int = 0) -> int:
+    value = req.get(name)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WorkProtocolError("bad-field", f"missing integer field {name!r}")
+    if value < minimum:
+        raise WorkProtocolError("bad-field", f"field {name!r} must be >= {minimum}")
+    return value
+
+
+# -- the coordinator ---------------------------------------------------
+
+
+@dataclass
+class WorkerBook:
+    """Per-worker-host accounting the server keeps (and the
+    ``worker.*`` events publish for :class:`~repro.obs.report.RunReport`)."""
+
+    worker: str
+    host: str = ""
+    connections: int = 0
+    chunks: int = 0
+    examined: int = 0
+    seconds: float = 0.0
+    lease_losses: int = 0
+    expiries: int = 0
+    faults: int = 0
+    benched: bool = False
+    last_seen: float = 0.0
+
+
+@dataclass
+class FarmStats:
+    """Counters the tests and the CLI summary line report."""
+
+    completions: int = 0
+    duplicate_deliveries: int = 0
+    checkpoints_written: int = 0
+    skipped_from_checkpoint: int = 0
+    lease_expiries: int = 0
+    quarantined: int = 0
+    retry_backoffs: int = 0
+    frame_errors: int = 0
+    protocol_errors: int = 0
+    connections: int = 0
+
+
+class WorkServer:
+    """The asyncio campaign coordinator behind ``repro serve``.
+
+    Owns the queue, the campaign record, the checkpoint cadence and
+    the lease reaper; serves the ``repro-work/1`` verbs over whatever
+    :class:`~repro.dist.transport.Transport` it is given.  One event
+    loop, no locks: every dispatch mutates state between awaits.
+    """
+
+    def __init__(
+        self,
+        config: SearchConfig,
+        chunk_size: int,
+        transport: Transport,
+        *,
+        lease_duration: float = 30.0,
+        max_attempts: int = 5,
+        retry_backoff: float = 0.05,
+        backoff_cap: float = 30.0,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 8,
+        worker_fault_budget: int = 0,
+        drain_grace: float = 3.0,
+        progress_interval: float = 10.0,
+        max_seconds: float | None = None,
+        faults: FaultPlan | None = None,
+        events: NullEventLog = NULL_EVENTS,
+        collect_metrics: bool = False,
+        collect_traces: bool | None = None,
+        handle_signals: bool = True,
+        log: Callable[[str], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self.chunk_size = chunk_size
+        self.transport = transport
+        self.lease_duration = lease_duration
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.worker_fault_budget = worker_fault_budget
+        self.drain_grace = drain_grace
+        self.progress_interval = progress_interval
+        self.max_seconds = max_seconds
+        self.faults = faults
+        self.events = events
+        self.collect_metrics = collect_metrics
+        self.handle_signals = handle_signals
+        self.log = log
+        self.clock = clock
+        self.queue = TaskQueue(
+            partition_space(config.width, chunk_size),
+            lease_duration=lease_duration,
+            max_attempts=max_attempts,
+            backoff_base=retry_backoff,
+            backoff_cap=backoff_cap,
+        )
+        self.queue.on_expire = self._on_lease_expire
+        self.queue.on_quarantine = self._on_quarantine
+        self.queue.on_backoff = self._on_backoff
+        self.campaign = CampaignRecord(
+            width=config.width,
+            data_word_bits=config.final_length,
+            target_hd=config.target_hd,
+        )
+        self.metrics = MetricsRegistry()
+        if collect_traces is None:
+            collect_traces = events.enabled
+        self.tracer = Tracer(events=events) if collect_traces else NULL_TRACE
+        self.stats = FarmStats()
+        self.workers: dict[str, WorkerBook] = {}
+        self.tracker = ProgressTracker(total_chunks=len(self.queue))
+        self.address: str | None = None
+        self.interrupted: str | None = None
+        self._chunk_spans: dict[int, tuple] = {}
+        self._open_connections = 0
+        self._completions_since_checkpoint = 0
+        self._dirty_since_checkpoint = False
+        self._shutdown_signal: str | None = None
+        self._signals_installed = False
+        self._t0: float | None = None
+
+    # -- queue observers (same event vocabulary as the pool) -----------
+
+    def _on_lease_expire(self, task: SearchTask, now: float) -> None:
+        self.stats.lease_expiries += 1
+        self.events.emit(
+            "lease.expire",
+            chunk=task.chunk_id,
+            owner=task.owner,
+            attempt=task.attempts,
+        )
+        book = self.workers.get(task.owner or "")
+        if book is not None:
+            book.expiries += 1
+            book.faults += 1
+            if (
+                self.worker_fault_budget
+                and not book.benched
+                and book.faults >= self.worker_fault_budget
+            ):
+                book.benched = True
+                self.events.emit(
+                    "worker.benched", worker=book.worker, faults=book.faults
+                )
+                self._say(
+                    f"worker {book.worker} benched after {book.faults} faults"
+                )
+        self._close_chunk_spans(task.chunk_id, "expired")
+
+    def _on_quarantine(self, task: SearchTask, now: float) -> None:
+        self.stats.quarantined += 1
+        self._dirty_since_checkpoint = True
+        self.events.emit(
+            "chunk.quarantine", chunk=task.chunk_id, attempts=task.attempts
+        )
+        self._say(
+            f"chunk {task.chunk_id} quarantined after {task.attempts} "
+            "failed attempts"
+        )
+
+    def _on_backoff(self, task: SearchTask, delay: float) -> None:
+        self.stats.retry_backoffs += 1
+        self.events.emit(
+            "lease.backoff",
+            chunk=task.chunk_id,
+            attempt=task.attempts,
+            delay=round(delay, 6),
+        )
+
+    # -- checkpoint / resume (format 3, shared with the pool) ----------
+
+    def save_checkpoint(self, path: str | None = None) -> None:
+        target = path or self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        checkpoint_io.save(
+            target,
+            self.campaign,
+            self.config,
+            self.chunk_size,
+            self.queue.quarantined_ids,
+        )
+        self.stats.checkpoints_written += 1
+        self._dirty_since_checkpoint = False
+        self.events.emit(
+            "checkpoint.write",
+            path=target,
+            chunks_done=len(self.campaign.chunks_done),
+            quarantined=self.queue.quarantined,
+        )
+        if (
+            self.faults is not None
+            and self.faults.corrupt_checkpoint_after is not None
+            and self.stats.checkpoints_written
+            == self.faults.corrupt_checkpoint_after
+        ):
+            corrupt_file(target, seed=self.stats.checkpoints_written)
+
+    def resume(
+        self, path: str | None = None, *, retry_quarantined: bool = False
+    ) -> int:
+        """Load a compatible checkpoint and mark its chunks done /
+        quarantined; returns the number skipped.  Same semantics and
+        exceptions as the pool coordinator's resume."""
+        target = path or self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        loaded = checkpoint_io.load(target, self.config, self.chunk_size)
+        if loaded.fell_back:
+            self.events.emit(
+                "checkpoint.corrupt",
+                path=target,
+                fallback=loaded.source,
+                error=str(loaded.corrupt_error),
+            )
+            self._say(
+                f"checkpoint {target} unusable ({loaded.corrupt_error}); "
+                f"recovered from previous generation {loaded.source}"
+            )
+        campaign = loaded.campaign
+        foreign = [
+            c
+            for c in sorted(campaign.chunks_done | loaded.quarantined)
+            if c not in self.queue
+        ]
+        if foreign:
+            raise CheckpointMismatch(
+                f"checkpoint {loaded.source} references chunks {foreign}, "
+                f"outside this campaign's {len(self.queue)}-chunk partition "
+                "(chunk_size mismatch?)"
+            )
+        skipped = 0
+        for chunk_id in campaign.chunks_done:
+            if self.queue.complete(chunk_id, "checkpoint", 0.0):
+                skipped += 1
+        restored = 0
+        if not retry_quarantined:
+            for chunk_id in sorted(loaded.quarantined):
+                if self.queue.mark_quarantined(chunk_id):
+                    restored += 1
+                    self.stats.quarantined += 1
+                    self.events.emit(
+                        "chunk.quarantine",
+                        chunk=chunk_id,
+                        attempts=0,
+                        restored=True,
+                    )
+        self.campaign = campaign
+        self.stats.skipped_from_checkpoint = skipped
+        self.events.emit(
+            "campaign.resume",
+            path=loaded.source,
+            skipped=skipped,
+            quarantined=restored,
+        )
+        return skipped
+
+    # -- signals / drain ----------------------------------------------
+
+    def _begin_drain(self, signame: str) -> None:
+        if self._shutdown_signal is None:
+            self._shutdown_signal = signame
+
+    def _install_signal_handlers(self) -> dict[int, object]:
+        if not self.handle_signals:
+            return {}
+        previous: dict[int, object] = {}
+        for sig in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                previous[sig] = signal_module.signal(
+                    sig,
+                    lambda signum, frame: self._begin_drain(
+                        signal_module.Signals(signum).name
+                    ),
+                )
+            except ValueError:  # not the main thread
+                return previous
+        self._signals_installed = True
+        return previous
+
+    def _restore_signal_handlers(self, previous: dict[int, object]) -> None:
+        for sig, handler in previous.items():
+            signal_module.signal(sig, handler)
+        self._signals_installed = False
+
+    def _say(self, message: str) -> None:
+        if self.log is not None:
+            self.log(message)
+
+    def _close_chunk_spans(self, chunk_id: int, outcome: str) -> None:
+        root, remote = self._chunk_spans.pop(
+            chunk_id, (obs_trace.NULL_SPAN, obs_trace.NULL_SPAN)
+        )
+        remote.annotate(outcome=outcome)
+        remote.end()
+        root.annotate(outcome=outcome)
+        root.end()
+
+    # -- protocol dispatch --------------------------------------------
+
+    def _base_reply(self, req: dict, op: str | None = None) -> dict:
+        reply: dict[str, Any] = {"ok": True}
+        if op is not None:
+            reply["op"] = op
+        seq = req.get("seq")
+        if isinstance(seq, (int, str)) and not isinstance(seq, bool):
+            reply["seq"] = seq
+        return reply
+
+    def _error_frame(self, code: str, message: str, req: dict | None) -> dict:
+        self.stats.protocol_errors += 1
+        self.metrics.inc("work.request.error")
+        self.metrics.inc(f"work.error.{code}")
+        frame: dict[str, Any] = {
+            "ok": False,
+            "error": {"code": code, "message": message},
+        }
+        if isinstance(req, dict):
+            seq = req.get("seq")
+            if isinstance(seq, (int, str)) and not isinstance(seq, bool):
+                frame["seq"] = seq
+        return frame
+
+    def _dispatch(
+        self, req: Any, worker: str | None
+    ) -> tuple[dict, bool, str | None]:
+        """One request -> ``(reply, close_connection, worker_binding)``.
+        Never raises: every failure becomes a coded error frame."""
+        if not isinstance(req, dict):
+            return (
+                self._error_frame("bad-frame", "request must be a JSON object", None),
+                False,
+                worker,
+            )
+        op = req.get("op")
+        if not isinstance(op, str):
+            return (
+                self._error_frame("bad-frame", "missing string field 'op'", req),
+                False,
+                worker,
+            )
+        try:
+            if op == "hello":
+                return self._op_hello(req)
+            if worker is None:
+                return (
+                    self._error_frame(
+                        "no-hello", f"{op!r} before 'hello' handshake", req
+                    ),
+                    False,
+                    worker,
+                )
+            book = self.workers[worker]
+            book.last_seen = self.clock()
+            if op == "lease":
+                return self._op_lease(req, book), False, worker
+            if op == "renew":
+                return self._op_renew(req, book), False, worker
+            if op == "complete":
+                return self._op_complete(req, book), False, worker
+            if op == "snapshot":
+                return self._op_snapshot(req, book), False, worker
+            if op == "bye":
+                self.events.emit(
+                    "worker.bye", worker=worker, chunks=book.chunks
+                )
+                reply = self._base_reply(req, "bye")
+                return reply, True, worker
+            return (
+                self._error_frame(
+                    "unknown-op",
+                    f"unknown op {op!r}; known: bye, complete, hello, "
+                    "lease, renew, snapshot",
+                    req,
+                ),
+                False,
+                worker,
+            )
+        except WorkProtocolError as exc:
+            return self._error_frame(exc.code, str(exc), req), False, worker
+        except Exception as exc:  # never let a request kill the coordinator
+            return (
+                self._error_frame(
+                    "internal", f"{type(exc).__name__}: {exc}", req
+                ),
+                False,
+                worker,
+            )
+
+    def _op_hello(self, req: dict) -> tuple[dict, bool, str | None]:
+        protocol = req.get("protocol")
+        if protocol != PROTOCOL:
+            return (
+                self._error_frame(
+                    "version-mismatch",
+                    f"this coordinator speaks {PROTOCOL}, not {protocol!r}",
+                    req,
+                ),
+                True,
+                None,
+            )
+        worker = req.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise WorkProtocolError(
+                "bad-field", "missing non-empty string field 'worker'"
+            )
+        host = req.get("host")
+        book = self.workers.setdefault(worker, WorkerBook(worker=worker))
+        if isinstance(host, str):
+            book.host = host
+        reconnect = book.connections > 0
+        book.connections += 1
+        book.last_seen = self.clock()
+        self.metrics.inc("work.hello")
+        self.events.emit(
+            "worker.hello",
+            worker=worker,
+            host=book.host,
+            reconnect=reconnect,
+        )
+        reply = self._base_reply(req, "hello")
+        reply.update(
+            protocol=PROTOCOL,
+            config=config_to_wire(self.config),
+            chunk_size=self.chunk_size,
+            lease=self.lease_duration,
+        )
+        return reply, False, worker
+
+    def _op_lease(self, req: dict, book: WorkerBook) -> dict:
+        reply = self._base_reply(req, "lease")
+        now = self.clock()
+        if self.queue.finished:
+            reply["done"] = True
+            return reply
+        if self._shutdown_signal is not None:
+            reply["draining"] = True
+            return reply
+        if book.benched:
+            reply.update(idle=True, benched=True, retry_in=self.lease_duration)
+            return reply
+        task = self.queue.lease(book.worker, now)
+        if task is None:
+            wake = self.queue.next_wakeup(now)
+            retry_in = 0.05 if wake is None else max(wake - now, 0.01)
+            # Cap below the post-campaign quiesce window: an idle
+            # worker must poll again in time to hear "done" before the
+            # coordinator stops listening, whatever the lease length.
+            reply.update(idle=True, retry_in=round(min(retry_in, 1.0), 4))
+            return reply
+        root = self.tracer.start(
+            "chunk", chunk=task.chunk_id, attempt=task.attempts,
+            worker=book.worker,
+        )
+        remote = self.tracer.start(
+            "chunk.remote", parent=root.id, chunk=task.chunk_id,
+            worker=book.worker,
+        )
+        self._chunk_spans[task.chunk_id] = (root, remote)
+        self.events.emit(
+            "lease.grant",
+            chunk=task.chunk_id,
+            attempt=task.attempts,
+            worker=book.worker,
+        )
+        self.metrics.inc("work.lease")
+        reply.update(
+            chunk=task.chunk_id,
+            start=task.start_index,
+            end=task.end_index,
+            epoch=task.epoch,
+            attempt=task.attempts,
+        )
+        return reply
+
+    def _op_renew(self, req: dict, book: WorkerBook) -> dict:
+        chunk = _int_field(req, "chunk")
+        epoch = req.get("epoch")
+        if epoch is not None:
+            epoch = _int_field(req, "epoch")
+        if chunk not in self.queue:
+            raise WorkProtocolError("bad-field", f"unknown chunk {chunk}")
+        reply = self._base_reply(req, "renew")
+        try:
+            self.queue.renew(chunk, book.worker, self.clock(), epoch=epoch)
+        except LeaseLost as exc:
+            book.lease_losses += 1
+            self.events.emit(
+                "worker.lease_lost",
+                worker=book.worker,
+                chunk=chunk,
+                reason=str(exc),
+            )
+            reply.update(renewed=False, lost=True, reason=str(exc))
+            return reply
+        self.events.emit("lease.renew", chunks=1, worker=book.worker)
+        reply["renewed"] = True
+        return reply
+
+    def _op_complete(self, req: dict, book: WorkerBook) -> dict:
+        chunk = _int_field(req, "chunk")
+        if chunk not in self.queue:
+            raise WorkProtocolError("bad-field", f"unknown chunk {chunk}")
+        result = result_from_wire(req.get("result"), self.config)
+        now = self.clock()
+        task = self.queue.task(chunk)
+        attempt = task.attempts
+        self.queue.complete(chunk, book.worker, now)
+        merged = self.campaign.merge_chunk(chunk, result.records, result.examined)
+        obs = req.get("obs") if isinstance(req.get("obs"), dict) else {}
+        if merged:
+            root, remote = self._chunk_spans.pop(
+                chunk, (obs_trace.NULL_SPAN, obs_trace.NULL_SPAN)
+            )
+            remote.annotate(worker=book.worker)
+            remote.end()
+            self.tracer.adopt(obs.get("spans"), parent=remote.id)
+            merge_span = self.tracer.start(
+                "chunk.merge", parent=root.id, chunk=chunk
+            )
+            merge_span.end()
+            root.annotate(attempt=attempt)
+            root.end()
+            self.metrics.merge(obs.get("metrics"))
+            self.metrics.observe_hist("chunk.seconds", result.elapsed_seconds)
+            self.stats.completions += 1
+            book.chunks += 1
+            book.examined += result.examined
+            book.seconds += result.elapsed_seconds
+            self._completions_since_checkpoint += 1
+            self._dirty_since_checkpoint = True
+            if self._t0 is not None:
+                self.tracker.observe(now - self._t0, self.queue.done)
+        else:
+            self.stats.duplicate_deliveries += 1
+            self.metrics.inc("work.duplicate_completion")
+        self.events.emit(
+            "chunk.done",
+            chunk=chunk,
+            attempt=attempt,
+            examined=result.examined,
+            survivors=len(result.survivors),
+            seconds=round(result.elapsed_seconds, 6),
+            stage_kills=result.stage_kills,
+            duplicate=not merged,
+            worker=book.worker,
+        )
+        if (
+            merged
+            and self.checkpoint_path is not None
+            and self._completions_since_checkpoint >= self.checkpoint_every
+        ):
+            self.save_checkpoint()
+            self._completions_since_checkpoint = 0
+        if (
+            merged
+            and self.faults is not None
+            and self.faults.kill_signal_after is not None
+            and self.stats.completions == self.faults.kill_signal_after
+        ):
+            self._begin_drain("SIGTERM")
+        reply = self._base_reply(req, "complete")
+        reply.update(merged=merged, done=self.queue.finished)
+        return reply
+
+    def _op_snapshot(self, req: dict, book: WorkerBook) -> dict:
+        obs = req.get("obs") if isinstance(req.get("obs"), dict) else {}
+        self.metrics.merge(obs.get("metrics"))
+        self.tracer.adopt(obs.get("spans"))
+        self.events.emit("worker.snapshot", worker=book.worker)
+        return self._base_reply(req, "snapshot")
+
+    # -- connection plumbing ------------------------------------------
+
+    async def _handle_connection(self, conn: Connection) -> None:
+        self.stats.connections += 1
+        self._open_connections += 1
+        worker: str | None = None
+        try:
+            while True:
+                try:
+                    req = await conn.recv()
+                except FrameError as exc:
+                    self.stats.frame_errors += 1
+                    self.events.emit(
+                        "work.frame_error", code=exc.code, worker=worker
+                    )
+                    try:
+                        await conn.send(
+                            self._error_frame(exc.code, str(exc), None)
+                        )
+                    except ConnectionLost:
+                        return
+                    if not exc.recoverable:
+                        return
+                    continue
+                except ConnectionLost:
+                    return
+                if req is None:
+                    return
+                reply, close, worker = self._dispatch(req, worker)
+                try:
+                    await conn.send(reply)
+                except ConnectionLost:
+                    return
+                if close:
+                    return
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._open_connections -= 1
+            await conn.close()
+
+    # -- the serve loop -----------------------------------------------
+
+    async def serve(self) -> int:
+        """Serve until every chunk is DONE or QUARANTINED, or a drain
+        signal lands.  Returns 0; check :attr:`interrupted` and
+        ``queue.quarantined_ids`` for the campaign verdict (the CLI
+        maps them to exit codes)."""
+        t0 = self.clock()
+        self._t0 = t0
+        self.interrupted = None
+        self._shutdown_signal = None
+        self.tracker = ProgressTracker(total_chunks=len(self.queue))
+        self.tracker.observe(0.0, self.queue.done)
+        self.address = await self.transport.listen(self._handle_connection)
+        previous = self._install_signal_handlers()
+        self.events.emit(
+            "campaign.start",
+            backend="net",
+            width=self.config.width,
+            target_hd=self.config.target_hd,
+            final_length=self.config.final_length,
+            chunk_size=self.chunk_size,
+            chunks=len(self.queue),
+            transport=type(self.transport).__name__,
+            address=self.address,
+        )
+        self._say(f"work server listening on {self.address}")
+        tick = min(max(self.lease_duration / 4.0, 0.01), 0.25)
+        last_summary = t0
+        try:
+            while not self.queue.finished:
+                if self._shutdown_signal is not None:
+                    break
+                now = self.clock()
+                if self.max_seconds is not None and now - t0 > self.max_seconds:
+                    raise RuntimeError(
+                        f"campaign exceeded {self.max_seconds}s: "
+                        + self.queue.progress()
+                    )
+                # The reaper: a vanished host's leases expire here even
+                # while every live worker is busy computing.
+                self.queue.reclaim(now)
+                if now - last_summary >= self.progress_interval:
+                    self._say(
+                        self.tracker.summary(now - t0)
+                        + " | "
+                        + self.queue.progress()
+                    )
+                    last_summary = now
+                await asyncio.sleep(tick)
+            if self._shutdown_signal is not None:
+                await self._drain()
+            else:
+                # Give connected workers a beat to hear "done" and bye.
+                await self._quiesce(min(self.drain_grace, 2.0))
+        finally:
+            self._restore_signal_handlers(previous)
+            for chunk_id in list(self._chunk_spans):
+                self._close_chunk_spans(chunk_id, "stopped")
+            await self.transport.close()
+        elapsed = self.clock() - t0
+        if self.checkpoint_path is not None and self._dirty_since_checkpoint:
+            self.save_checkpoint()
+            self._completions_since_checkpoint = 0
+        if self.collect_metrics:
+            self.events.emit("metrics.snapshot", metrics=self.metrics.snapshot())
+        if self._shutdown_signal is not None:
+            self.interrupted = self._shutdown_signal
+            self.events.emit(
+                "campaign.interrupted",
+                signal=self._shutdown_signal,
+                elapsed=round(elapsed, 6),
+                completions=self.stats.completions,
+                examined=self.campaign.candidates_examined,
+            )
+        else:
+            self.events.emit(
+                "campaign.end",
+                elapsed=round(elapsed, 6),
+                completions=self.stats.completions,
+                examined=self.campaign.candidates_examined,
+                survivors=len(self.campaign.survivors),
+                quarantined=self.queue.quarantined,
+            )
+        self._say(
+            self.tracker.summary(elapsed) + " | " + self.queue.progress()
+        )
+        return 0
+
+    async def _quiesce(self, grace: float) -> None:
+        deadline = self.clock() + grace
+        while self._open_connections and self.clock() < deadline:
+            await asyncio.sleep(0.01)
+
+    async def _drain(self) -> None:
+        """Signal-driven graceful shutdown: stop leasing (the lease op
+        already answers ``draining``), give in-flight chunks
+        ``drain_grace`` seconds to complete, forfeit the rest."""
+        signame = self._shutdown_signal
+        self.events.emit(
+            "shutdown.drain",
+            signal=signame,
+            inflight=self.queue.leased,
+            grace=self.drain_grace,
+        )
+        self._say(
+            f"{signame} received: draining {self.queue.leased} in-flight "
+            "chunks"
+        )
+        done_before = self.queue.done
+        deadline = self.clock() + self.drain_grace
+        while self.queue.leased and self.clock() < deadline:
+            await asyncio.sleep(0.02)
+        now = self.clock()
+        forfeited = 0
+        for chunk_id in range(len(self.queue)):
+            task = self.queue.task(chunk_id)
+            if task.status.name == "LEASED":
+                self.queue.release(chunk_id, task.owner or "", now)
+                forfeited += 1
+        await self._quiesce(min(self.drain_grace, 1.0))
+        self._say(
+            f"drained {self.queue.done - done_before} chunks, "
+            f"forfeited {forfeited} -- " + self.queue.progress()
+        )
+
+
+# -- the worker -------------------------------------------------------
+
+
+@dataclass
+class ClientStats:
+    chunks: int = 0
+    examined: int = 0
+    reconnects: int = 0
+    lease_losses: int = 0
+    resent_completes: int = 0
+    idle_waits: int = 0
+
+
+class WorkClient:
+    """One remote worker: connect, hello, then lease/compute/complete
+    until the coordinator says ``done`` (or ``draining``).
+
+    Survival kit: request/ack with ``seq`` matching (duplicate and
+    delayed replies are discarded), ack timeouts (a dropped frame is
+    a reconnect, and the unacknowledged ``complete`` is resent on the
+    new connection), exponential reconnect backoff with deterministic
+    jitter seeded by the worker id, lease heartbeats during compute
+    with definitive :class:`~repro.dist.queue.LeaseLost` abandonment,
+    and SIGTERM drain (finish the in-flight chunk, report, bye).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        transport: Transport,
+        worker_id: str,
+        *,
+        host: str | None = None,
+        ack_timeout: float | None = None,
+        reconnect_base: float = 0.2,
+        reconnect_cap: float = 10.0,
+        max_connect_attempts: int = 8,
+        idle_floor: float = 0.02,
+        faults: FaultPlan | None = None,
+        collect_obs: bool = True,
+        handle_signals: bool = False,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        self.address = address
+        self.transport = transport
+        self.worker_id = worker_id
+        self.host = host if host is not None else socket.gethostname()
+        self.ack_timeout = ack_timeout
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        self.max_connect_attempts = max_connect_attempts
+        self.idle_floor = idle_floor
+        self.faults = faults
+        self.collect_obs = collect_obs
+        self.handle_signals = handle_signals
+        self.log = log
+        self.stats = ClientStats()
+        self.config: SearchConfig | None = None
+        self.chunk_size: int | None = None
+        self.lease_duration = 30.0
+        self.outcome: str | None = None
+        self._seq = 0
+        self._completions = 0
+        self._pending_complete: dict | None = None
+        self._draining = False
+
+    def _say(self, message: str) -> None:
+        if self.log is not None:
+            self.log(message)
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential with deterministic jitter: the same worker's
+        n-th retry always waits the same time, but different workers
+        never stampede in lockstep."""
+        delay = min(
+            self.reconnect_base * (2 ** max(attempt - 1, 0)),
+            self.reconnect_cap,
+        )
+        rng = random.Random(f"{self.worker_id}#{attempt}")
+        return delay * (0.5 + rng.random())
+
+    def _install_signal_handlers(self) -> dict[int, object]:
+        if not self.handle_signals:
+            return {}
+        previous: dict[int, object] = {}
+
+        def drain(signum: int, frame: object) -> None:
+            self._draining = True
+
+        for sig in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                previous[sig] = signal_module.signal(sig, drain)
+            except ValueError:
+                return previous
+        return previous
+
+    def _restore_signal_handlers(self, previous: dict[int, object]) -> None:
+        for sig, handler in previous.items():
+            signal_module.signal(sig, handler)
+
+    # -- request/ack --------------------------------------------------
+
+    @property
+    def _ack_timeout(self) -> float:
+        if self.ack_timeout is not None:
+            return self.ack_timeout
+        return max(self.lease_duration, 2.0)
+
+    async def _request(self, conn: Connection, frame: dict) -> dict:
+        """Send one request and wait for its matching (``seq``) reply.
+        Duplicated or delayed replies from earlier exchanges are
+        discarded; a timeout or dead wire raises
+        :class:`ConnectionLost`; a coded server error raises
+        :class:`WorkProtocolError`."""
+        self._seq += 1
+        frame = dict(frame, seq=self._seq, worker=self.worker_id)
+        await conn.send(frame)
+        while True:
+            try:
+                reply = await asyncio.wait_for(conn.recv(), self._ack_timeout)
+            except asyncio.TimeoutError:
+                raise ConnectionLost(
+                    f"no reply to {frame.get('op')!r} within "
+                    f"{self._ack_timeout}s"
+                ) from None
+            except FrameError as exc:
+                raise ConnectionLost(f"garbled reply: {exc}") from None
+            if reply is None:
+                raise ConnectionLost("server closed the connection")
+            if not isinstance(reply, dict) or reply.get("seq") != self._seq:
+                continue  # a duplicate or delayed reply: discard
+            if not reply.get("ok", False):
+                error = reply.get("error") or {}
+                raise WorkProtocolError(
+                    str(error.get("code", "error")),
+                    str(error.get("message", "server rejected the request")),
+                )
+            return reply
+
+    async def _connect(self) -> Connection:
+        conn = await self.transport.connect(self.address, label=self.worker_id)
+        try:
+            reply = await self._request(
+                conn,
+                {"op": "hello", "protocol": PROTOCOL, "host": self.host},
+            )
+        except (ConnectionLost, WorkProtocolError):
+            await conn.close()
+            raise
+        self.config = config_from_wire(reply["config"])
+        self.chunk_size = reply.get("chunk_size")
+        self.lease_duration = float(reply.get("lease", self.lease_duration))
+        return conn
+
+    # -- compute ------------------------------------------------------
+
+    def _compute(
+        self, start: int, end: int, chunk_id: int, attempt: int
+    ) -> tuple[SearchResult, dict]:
+        """Runs on an executor thread; installs per-chunk obs exactly
+        like the pool's subprocess entry point, so the coordinator's
+        waterfall and metrics merge see the same shapes."""
+        registry = MetricsRegistry() if self.collect_obs else None
+        tracer = Tracer() if self.collect_obs else None
+        previous_metrics = obs_metrics.install(registry) if registry else None
+        previous_trace = obs_trace.install(tracer) if tracer else None
+        try:
+            if tracer is not None:
+                with tracer.span(
+                    "chunk.compute",
+                    chunk=chunk_id,
+                    attempt=attempt,
+                    worker=self.worker_id,
+                ):
+                    result = search_chunk(self.config, start, end)
+            else:
+                result = search_chunk(self.config, start, end)
+        finally:
+            if registry is not None:
+                obs_metrics.install(previous_metrics)
+            if tracer is not None:
+                obs_trace.install(previous_trace)
+        obs = {
+            "metrics": registry.snapshot() if registry else None,
+            "spans": tracer.snapshot() if tracer else None,
+        }
+        return result, obs
+
+    async def _compute_with_heartbeat(
+        self, conn: Connection, chunk: int, start: int, end: int,
+        epoch: int, attempt: int,
+    ) -> tuple[SearchResult, dict, bool, ConnectionLost | None]:
+        """Compute off-loop while renewing the lease every third of
+        its duration.  Returns ``(result, obs, lost, conn_dead)``:
+        ``lost`` means the server said the lease is definitively gone
+        (abandon the chunk), ``conn_dead`` that the wire died mid-
+        chunk (finish, then reconnect and deliver anyway)."""
+        loop = asyncio.get_running_loop()
+        fut = loop.run_in_executor(
+            None, self._compute, start, end, chunk, attempt
+        )
+        interval = max(self.lease_duration / 3.0, 0.05)
+        lost = False
+        conn_dead: ConnectionLost | None = None
+        while True:
+            done, _ = await asyncio.wait({fut}, timeout=interval)
+            if fut in done:
+                break
+            if lost or conn_dead is not None:
+                continue  # nothing left to heartbeat; just finish
+            try:
+                reply = await self._request(
+                    conn, {"op": "renew", "chunk": chunk, "epoch": epoch}
+                )
+                if reply.get("lost"):
+                    lost = True
+            except ConnectionLost as exc:
+                conn_dead = exc
+        result, obs = fut.result()
+        return result, obs, lost, conn_dead
+
+    # -- the work loop ------------------------------------------------
+
+    async def _deliver(self, conn: Connection, frame: dict) -> dict:
+        """Send a ``complete``; the frame stays pended until the ack
+        lands, so a reconnect resends it."""
+        self._pending_complete = frame
+        reply = await self._request(conn, frame)
+        self._pending_complete = None
+        self.stats.chunks += 1
+        self._completions += 1
+        return reply
+
+    async def _session(self, conn: Connection) -> str:
+        """One connection's work loop; returns ``"done"`` or
+        ``"drained"``, raises :class:`ConnectionLost` to reconnect."""
+        if self._pending_complete is not None:
+            frame = self._pending_complete
+            self._say(
+                f"{self.worker_id}: resending unacknowledged completion "
+                f"of chunk {frame.get('chunk')}"
+            )
+            reply = await self._deliver(conn, frame)
+            self.stats.resent_completes += 1
+            if reply.get("done"):
+                return "done"
+        while True:
+            if self._draining:
+                return "drained"
+            reply = await self._request(conn, {"op": "lease"})
+            if reply.get("done"):
+                return "done"
+            if reply.get("draining"):
+                return "drained"
+            if reply.get("chunk") is None:
+                self.stats.idle_waits += 1
+                await asyncio.sleep(
+                    max(float(reply.get("retry_in", 0.05)), self.idle_floor)
+                )
+                continue
+            chunk = reply["chunk"]
+            epoch = reply.get("epoch", 0)
+            attempt = reply.get("attempt", 1)
+            if self.faults is not None and self.faults.net_kills(
+                self.worker_id, self._completions
+            ):
+                # Die *holding* the lease: the coordinator's reaper
+                # must notice the silence and re-pend the chunk.
+                raise WorkerKilled(
+                    f"worker {self.worker_id} killed holding chunk "
+                    f"{chunk} after {self._completions} completions"
+                )
+            result, obs, lost, conn_dead = await self._compute_with_heartbeat(
+                conn, chunk, reply["start"], reply["end"], epoch, attempt
+            )
+            if lost:
+                # Someone else owns (or finished) the chunk; the
+                # deterministic answer is already on its way from them.
+                self.stats.lease_losses += 1
+                self._say(
+                    f"{self.worker_id}: lease on chunk {chunk} lost; "
+                    "abandoning result"
+                )
+                continue
+            frame = {
+                "op": "complete",
+                "chunk": chunk,
+                "epoch": epoch,
+                "result": result_to_wire(result),
+                "obs": obs,
+            }
+            if conn_dead is not None:
+                # The wire died while we computed: pend the completion
+                # for the reconnect path and surface the loss.
+                self._pending_complete = frame
+                raise conn_dead
+            reply = await self._deliver(conn, frame)
+            self.stats.examined += result.examined
+            if reply.get("done"):
+                return "done"
+
+    async def run(self) -> int:
+        """Work until the campaign is done (0), the coordinator
+        drains (0), the server is unreachable past the reconnect
+        budget (1), or the protocol is incompatible (2)."""
+        previous = self._install_signal_handlers()
+        self.outcome = None
+        connect_failures = 0
+        try:
+            while True:
+                try:
+                    conn = await self._connect()
+                except ConnectionLost as exc:
+                    connect_failures += 1
+                    if connect_failures >= self.max_connect_attempts:
+                        self._say(
+                            f"{self.worker_id}: giving up after "
+                            f"{connect_failures} failed connection "
+                            f"attempts: {exc}"
+                        )
+                        self.outcome = "unreachable"
+                        return 1
+                    await asyncio.sleep(self._backoff(connect_failures))
+                    continue
+                except WorkProtocolError as exc:
+                    self._say(
+                        f"{self.worker_id}: coordinator rejected us "
+                        f"({exc.code}): {exc}"
+                    )
+                    self.outcome = exc.code
+                    return 2
+                connect_failures = 0
+                try:
+                    outcome = await self._session(conn)
+                except ConnectionLost as exc:
+                    self.stats.reconnects += 1
+                    self._say(
+                        f"{self.worker_id}: connection lost ({exc}); "
+                        "reconnecting"
+                    )
+                    await conn.close()
+                    continue
+                except WorkProtocolError as exc:
+                    self._say(
+                        f"{self.worker_id}: fatal protocol error "
+                        f"({exc.code}): {exc}"
+                    )
+                    await conn.close()
+                    self.outcome = exc.code
+                    return 2
+                except WorkerKilled:
+                    # Abrupt death: no bye, just drop the wire.
+                    await conn.close()
+                    self.outcome = "killed"
+                    raise
+                try:
+                    await self._request(conn, {"op": "bye"})
+                except (ConnectionLost, WorkProtocolError):
+                    pass  # the goodbye is best-effort
+                await conn.close()
+                self.outcome = outcome
+                self._say(
+                    f"{self.worker_id}: {outcome} -- {self.stats.chunks} "
+                    f"chunks, {self.stats.examined} candidates"
+                )
+                return 0
+        finally:
+            self._restore_signal_handlers(previous)

@@ -62,7 +62,7 @@ from repro.dist import checkpoint as checkpoint_io
 from repro.dist.checkpoint import CheckpointMismatch
 from repro.dist.faults import FaultPlan, WorkerCrashed, corrupt_file
 from repro.dist.progress import ProgressTracker
-from repro.dist.queue import TaskQueue
+from repro.dist.queue import LeaseLost, TaskQueue
 from repro.dist.tasks import SearchTask, partition_space
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -569,6 +569,10 @@ class ParallelCoordinator:
         previous_handlers = self._install_signal_handlers()
         executor = self._new_executor()
         in_flight: dict[Future, SearchTask] = {}
+        # Epoch of each grant, captured at submission: the queue task
+        # object mutates on re-lease, so renewing with the *live*
+        # epoch would defeat the staleness check.
+        lease_epochs: dict[Future, int] = {}
         renew_interval = max(self.lease_duration / 3.0, 0.05)
         wait_timeout = min(max(self.lease_duration / 4.0, 0.02), 0.5)
         last_renew = t0
@@ -622,6 +626,7 @@ class ParallelCoordinator:
                         )
                         break
                     in_flight[fut] = task
+                    lease_epochs[fut] = task.epoch
                     self.events.emit(
                         "lease.grant", chunk=task.chunk_id, attempt=task.attempts
                     )
@@ -674,8 +679,19 @@ class ParallelCoordinator:
                     renewed = 0
                     for fut, task in in_flight.items():
                         if not fut.done():
-                            if self.queue.renew(task.chunk_id, PARENT_OWNER, now):
-                                renewed += 1
+                            try:
+                                if self.queue.renew(
+                                    task.chunk_id,
+                                    PARENT_OWNER,
+                                    now,
+                                    epoch=lease_epochs.get(fut),
+                                ):
+                                    renewed += 1
+                            except LeaseLost:
+                                # Reclaimed out from under a stalled
+                                # parent; the future's late result is
+                                # still merged on delivery.
+                                pass
                     if renewed:
                         self.events.emit("lease.renew", chunks=renewed)
                     last_renew = now

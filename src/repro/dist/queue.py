@@ -34,6 +34,19 @@ from typing import Callable
 from repro.dist.tasks import SearchTask, TaskStatus
 
 
+class LeaseLost(Exception):
+    """A renewing worker's lease is definitively gone.
+
+    Raised by :meth:`TaskQueue.renew` instead of silently extending a
+    zombie lease: the chunk was completed by someone else, reclaimed
+    after expiry, re-leased to another worker (or to the *same*
+    worker again -- a newer epoch), or quarantined.  The worker must
+    abandon the chunk: its in-flight result is still welcome
+    (``complete`` accepts late answers), but it must not keep
+    heartbeating a lease it no longer holds.
+    """
+
+
 class TaskQueue:
     """In-memory durable-semantics task queue for a search campaign.
 
@@ -168,14 +181,54 @@ class TaskQueue:
         t.complete(worker_id, now)
         return True
 
-    def renew(self, chunk_id: int, worker_id: str, now: float) -> bool:
-        """Heartbeat: extend a live lease.  False if the lease was
-        already reassigned (worker should abandon the chunk)."""
+    def renew(
+        self,
+        chunk_id: int,
+        worker_id: str,
+        now: float,
+        *,
+        epoch: int | None = None,
+    ) -> bool:
+        """Heartbeat: extend a live lease, or raise :class:`LeaseLost`
+        with the reason the caller no longer holds it.
+
+        Expired leases are reclaimed *first*: a heartbeat that arrives
+        after its own expiry must learn the lease is gone, not
+        silently resurrect it.  Passing the ``epoch`` from the lease
+        grant closes the remaining race: without it, a worker whose
+        expired chunk was re-leased *back to the same worker id*
+        (parent-held leases, a reconnecting host) could renew the new
+        holder's lease while computing against the old grant.
+        """
+        self._reclaim_expired(now)
         t = self._tasks[chunk_id]
-        if t.status is not TaskStatus.LEASED or t.owner != worker_id:
-            return False
+        if t.status is TaskStatus.DONE:
+            raise LeaseLost(f"chunk {chunk_id} was already completed")
+        if t.status is TaskStatus.QUARANTINED:
+            raise LeaseLost(f"chunk {chunk_id} was quarantined")
+        if t.status is not TaskStatus.LEASED:
+            raise LeaseLost(
+                f"lease on chunk {chunk_id} expired and was reclaimed"
+            )
+        if t.owner != worker_id:
+            raise LeaseLost(
+                f"chunk {chunk_id} was re-leased to {t.owner}"
+            )
+        if epoch is not None and epoch != t.epoch:
+            raise LeaseLost(
+                f"stale lease epoch {epoch} for chunk {chunk_id} "
+                f"(current {t.epoch})"
+            )
         t.lease_expires_at = now + self.lease_duration
         return True
+
+    def reclaim(self, now: float) -> None:
+        """Reclaim expired leases eagerly.  Normally expiry is lazy
+        (piggybacked on ``lease``/``renew``), which is enough when
+        workers poll; a network coordinator sweeps on a timer so a
+        vanished host's chunks re-pend even while every live worker
+        is busy computing."""
+        self._reclaim_expired(now)
 
     # -- progress ------------------------------------------------------
 

@@ -51,6 +51,15 @@ class SearchTask:
         """Number of raw candidate indices in the chunk."""
         return self.end_index - self.start_index
 
+    @property
+    def epoch(self) -> int:
+        """Lease epoch: bumps every time the task is (re)leased, so a
+        holder can prove its lease is the *current* one when renewing
+        over a network.  Numerically equal to ``attempts`` (every
+        lease is an attempt), named for what the work protocol uses
+        it for."""
+        return self.attempts
+
     def lease(self, worker_id: str, now: float, duration: float) -> None:
         """Assign to a worker until ``now + duration``."""
         self.status = TaskStatus.LEASED

@@ -1,0 +1,139 @@
+"""Shared NDJSON wire plumbing for every network front end.
+
+Both servers this repo ships -- the CRC service (``repro serve-crc``,
+:mod:`repro.service.server`) and the campaign work coordinator
+(``repro serve``, :mod:`repro.dist.net`) -- speak the same framing:
+one JSON object per ``\\n``-terminated line, UTF-8, no length prefix.
+This module is the single home for the parts that used to be
+duplicated per server:
+
+* the readline limit (:data:`MAX_LINE`) and its coded violation
+  (:class:`FrameError` with code ``oversized-frame``),
+* JSON encode/decode with coded parse failures (``bad-json``),
+* the drain-aware read (:func:`next_line`): after a drain signal a
+  connection keeps listening for :data:`DRAIN_LINGER` seconds so
+  requests already on the wire still get answered,
+* the port-0 discovery line (:func:`announce`) wrappers parse to
+  find an ephemerally bound port.
+
+Transport-level connection classes live in
+:mod:`repro.dist.transport`; protocol vocabularies live with their
+servers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+#: Hard per-line byte budget.  A line that exceeds it is a protocol
+#: violation (``oversized-frame``), not a bigger buffer: every frame
+#: either protocol sends fits comfortably, so an overrun is a peer
+#: bug or an attack, and the bound keeps one connection from holding
+#: unbounded memory.
+MAX_LINE = 1 << 20
+
+#: Seconds a draining connection keeps listening for requests that
+#: were already on the wire when the signal landed -- a drain must
+#: answer everything the peer sent before it, not just everything
+#: the handler happened to have read.
+DRAIN_LINGER = 0.25
+
+
+class FrameError(Exception):
+    """A wire-level framing violation.
+
+    ``code`` is the machine-readable discriminant (``bad-json``,
+    ``oversized-frame``, ``bad-frame``); the message is for humans.
+    ``recoverable`` says whether the stream is still usable: a
+    non-JSON line was fully consumed (answer with an error and keep
+    reading), an oversized line poisons the buffer (answer and
+    close).
+    """
+
+    def __init__(self, code: str, message: str, *, recoverable: bool = True) -> None:
+        super().__init__(message)
+        self.code = code
+        self.recoverable = recoverable
+
+
+def encode_frame(obj: Any) -> bytes:
+    """One protocol object -> one compact NDJSON line (with newline)."""
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_frame(raw: bytes | str) -> Any:
+    """One wire line -> the parsed JSON value.
+
+    Raises :class:`FrameError` (``bad-json``) on undecodable bytes or
+    invalid JSON; returns whatever JSON value the line held -- callers
+    enforce "must be an object" at their dispatch layer so the error
+    can carry protocol context.
+    """
+    if isinstance(raw, bytes):
+        text = raw.decode("utf-8", errors="replace")
+    else:
+        text = raw
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FrameError("bad-json", f"not JSON: {exc}") from None
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """The stream's next raw line.
+
+    Returns ``None`` on a clean EOF *or* an EOF that truncated a
+    frame mid-line (the peer died while writing -- there is nobody
+    left to answer, so both are a close).  Raises :class:`FrameError`
+    (``oversized-frame``, unrecoverable) when the peer exceeds the
+    reader's line limit.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError:  # asyncio's LimitOverrunError surface
+        raise FrameError(
+            "oversized-frame",
+            f"frame exceeds the {MAX_LINE}-byte line limit",
+            recoverable=False,
+        ) from None
+    if not line or not line.endswith(b"\n"):
+        return None
+    return line
+
+
+async def next_line(
+    reader: asyncio.StreamReader,
+    draining: asyncio.Event | None = None,
+    *,
+    linger: float = DRAIN_LINGER,
+) -> bytes | None:
+    """The connection's next request line; ``None`` at EOF or once a
+    drain has given in-flight data its last chance to arrive.
+
+    With no ``draining`` event this is just :func:`read_frame`.  With
+    one, the read races the drain: when the drain fires first the
+    read gets ``linger`` seconds to complete before the connection
+    gives up -- data the peer sent before the signal deserves an
+    answer, data sent after does not block shutdown.
+    """
+    read = asyncio.ensure_future(read_frame(reader))
+    if draining is None:
+        return await read
+    if not draining.is_set():
+        drain = asyncio.ensure_future(draining.wait())
+        await asyncio.wait({read, drain}, return_when=asyncio.FIRST_COMPLETED)
+        drain.cancel()
+    if not read.done():
+        try:
+            await asyncio.wait_for(read, linger)
+        except asyncio.TimeoutError:
+            return None
+    return read.result()
+
+
+def announce(kind: str, host: str, port: int) -> None:
+    """Print the discovery line wrappers parse (bind port 0, read
+    ``<kind>.listening host=H port=P`` from stdout)."""
+    print(f"{kind}.listening host={host} port={port}", flush=True)

@@ -137,6 +137,10 @@ class Dashboard:
         #: Chunk ids leased but not yet completed/forfeited.
         self.in_flight: set[int] = set()
         self.last_event: dict[str, Any] | None = None
+        #: Farm-worker liveness: last (t, event) *from* each worker --
+        #: hellos, renews, completions.  A lease expiring is evidence
+        #: of death, not life, so it never refreshes this.
+        self.worker_last: dict[str, tuple[float, str]] = {}
 
     def refresh(self) -> int:
         """Pull newly appended records; returns how many arrived."""
@@ -149,6 +153,12 @@ class Dashboard:
     def _fold_live(self, rec: dict[str, Any]) -> None:
         event = rec.get("event")
         self.last_event = rec
+        worker = rec.get("worker")
+        if isinstance(worker, str) and event != "lease.expire":
+            self.worker_last[worker] = (
+                float(rec.get("t", 0.0)),
+                str(event),
+            )
         if event == "trace.span":
             self.spans.append(rec)
         elif event == "lease.grant":
@@ -255,6 +265,24 @@ class Dashboard:
             f"configured, {len(self.in_flight)} chunks in flight, "
             f"session {report.sessions}"
         )
+        if self.worker_last:
+            frontier = (
+                float(self.last_event.get("t", 0.0))
+                if self.last_event is not None
+                else 0.0
+            )
+            parts = []
+            for name in sorted(self.worker_last):
+                t, last = self.worker_last[name]
+                folded = report.workers.get(name, {})
+                part = (
+                    f"{name} {folded.get('chunks', 0)}ch "
+                    f"(last {last} {max(frontier - t, 0.0):.1f}s ago)"
+                )
+                if folded.get("benched"):
+                    part += " [benched]"
+                parts.append(part)
+            lines.append(f"  hosts: {'; '.join(parts)}")
         lines.append(
             f"  health: {report.lease_expiries} lease expiries "
             f"({report.lease_expiry_rate:.0%} of grants), "

@@ -71,6 +71,13 @@ class RunReport:
     #: backend that actually produced it (events from before the
     #: kernel tag existed count as "batched" -- the only emitter then).
     kernel_stats: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Per-worker-host accounting folded from the farm coordinator's
+    #: ``worker.*`` events and ``worker``-tagged completions:
+    #: ``{worker: {"host", "chunks", "examined", "seconds",
+    #: "connections", "reconnects", "lease_losses", "expiries",
+    #: "benched"}}``.  Empty for pool/simulated campaigns, whose
+    #: events carry no worker identity.
+    workers: dict[str, dict[str, Any]] = field(default_factory=dict)
     active_seconds: float = 0.0
     busy_seconds: float = 0.0
     #: Per-chunk compute durations, folded from the ``seconds`` field
@@ -139,6 +146,23 @@ class RunReport:
         from repro.dist.progress import ProgressTracker
 
         report = cls(path=path)
+
+        def _worker(name: str) -> dict[str, Any]:
+            return report.workers.setdefault(
+                name,
+                {
+                    "host": "",
+                    "chunks": 0,
+                    "examined": 0,
+                    "seconds": 0.0,
+                    "connections": 0,
+                    "reconnects": 0,
+                    "lease_losses": 0,
+                    "expiries": 0,
+                    "benched": False,
+                },
+            )
+
         tracker: ProgressTracker | None = None
         session_last_t = 0.0
         session_elapsed: float | None = None
@@ -190,6 +214,11 @@ class RunReport:
                 if rec.get("duplicate"):
                     report.duplicate_deliveries += 1
                     continue
+                if isinstance(rec.get("worker"), str):
+                    w = _worker(rec["worker"])
+                    w["chunks"] += 1
+                    w["examined"] += rec.get("examined", 0)
+                    w["seconds"] += rec.get("seconds", 0.0)
                 report.chunks_completed += 1
                 report.candidates_examined += rec.get("examined", 0)
                 report.survivors += rec.get("survivors", 0)
@@ -226,6 +255,23 @@ class RunReport:
                 report.lease_renewals += rec.get("chunks", 1)
             elif event == "lease.expire":
                 report.lease_expiries += 1
+                owner = rec.get("owner")
+                if isinstance(owner, str) and owner in report.workers:
+                    report.workers[owner]["expiries"] += 1
+            elif event == "worker.hello":
+                if isinstance(rec.get("worker"), str):
+                    w = _worker(rec["worker"])
+                    w["connections"] += 1
+                    if rec.get("reconnect"):
+                        w["reconnects"] += 1
+                    if isinstance(rec.get("host"), str) and rec["host"]:
+                        w["host"] = rec["host"]
+            elif event == "worker.lease_lost":
+                if isinstance(rec.get("worker"), str):
+                    _worker(rec["worker"])["lease_losses"] += 1
+            elif event == "worker.benched":
+                if isinstance(rec.get("worker"), str):
+                    _worker(rec["worker"])["benched"] = True
             elif event == "worker.crash":
                 report.worker_crashes += 1
             elif event == "pool.rebuild":
@@ -328,6 +374,30 @@ class RunReport:
                 f"bailout efficiency {self.bailout_efficiency:.1%} "
                 "before the final length"
             )
+        if self.workers:
+            lines.append(f"  workers: {len(self.workers)} host(s)")
+            for name in sorted(self.workers):
+                w = self.workers[name]
+                rate = (
+                    w["examined"] / w["seconds"] if w["seconds"] > 0 else 0.0
+                )
+                line = f"    {name}"
+                if w["host"] and w["host"] != name:
+                    line += f" ({w['host']})"
+                line += (
+                    f": {w['chunks']} chunks, {w['examined']} candidates "
+                    f"({rate:.0f}/s busy), {w['connections']} connection(s)"
+                )
+                if w["reconnects"]:
+                    line += f", {w['reconnects']} reconnect(s)"
+                if w["expiries"] or w["lease_losses"]:
+                    line += (
+                        f", {w['expiries']} lease(s) expired, "
+                        f"{w['lease_losses']} lost"
+                    )
+                if w["benched"]:
+                    line += " [benched]"
+                lines.append(line)
         if self.kernel_stats:
             parts = []
             for kernel in sorted(self.kernel_stats):
@@ -406,6 +476,10 @@ class RunReport:
                         "seconds": round(stats["seconds"], 3),
                     }
                     for kernel, stats in sorted(self.kernel_stats.items())
+                },
+                "workers": {
+                    name: dict(w, seconds=round(w["seconds"], 3))
+                    for name, w in sorted(self.workers.items())
                 },
             },
         }

@@ -42,7 +42,9 @@ import time
 import warnings
 from typing import Any, Callable
 
+from repro import net_common
 from repro.crc.catalog import CATALOG, get_spec
+from repro.net_common import FrameError
 from repro.obs.events import NULL_EVENTS, NullEventLog
 from repro.obs.metrics import NULL_METRICS, NullMetrics
 from repro.obs.prom import CONTENT_TYPE, render_prometheus
@@ -457,30 +459,18 @@ class ServiceServer:
 
     # -- TCP transport -------------------------------------------------
 
-    #: Seconds a draining connection keeps listening for requests that
-    #: were already on the wire when the signal landed -- a drain must
-    #: answer everything the peer sent before it, not just everything
-    #: the handler happened to have read.
-    DRAIN_LINGER = 0.25
+    #: Drain-linger and line-limit live in :mod:`repro.net_common`,
+    #: shared with the campaign work server's wire layer.
+    DRAIN_LINGER = net_common.DRAIN_LINGER
 
     async def _next_line(
         self, reader: asyncio.StreamReader
     ) -> bytes | None:
         """The connection's next request line; ``None`` at EOF or once
         a drain has given in-flight data its last chance to arrive."""
-        read = asyncio.ensure_future(reader.readline())
-        if not self._draining.is_set():
-            drain = asyncio.ensure_future(self._draining.wait())
-            await asyncio.wait(
-                {read, drain}, return_when=asyncio.FIRST_COMPLETED
-            )
-            drain.cancel()
-        if not read.done():
-            try:
-                await asyncio.wait_for(read, self.DRAIN_LINGER)
-            except asyncio.TimeoutError:
-                return None
-        return read.result() or None
+        return await net_common.next_line(
+            reader, self._draining, linger=self.DRAIN_LINGER
+        )
 
     async def _serve_http(
         self,
@@ -527,7 +517,24 @@ class ServiceServer:
         first = True
         try:
             while True:
-                line = await self._next_line(reader)
+                try:
+                    line = await self._next_line(reader)
+                except FrameError as exc:
+                    # An oversized line poisons the stream: answer with
+                    # the coded error the NDJSON vocabulary already has
+                    # and close, rather than dying with a traceback.
+                    self.service.metrics.inc("service.request.error")
+                    self.service.metrics.inc(f"service.error.{exc.code}")
+                    writer.write(
+                        net_common.encode_frame(
+                            {
+                                "ok": False,
+                                "error": {"code": exc.code, "message": str(exc)},
+                            }
+                        )
+                    )
+                    await writer.drain()
+                    return
                 if line is None:
                     return
                 text = line.decode("utf-8", errors="replace").strip()
@@ -550,14 +557,15 @@ class ServiceServer:
     async def serve_tcp(self) -> int:
         self._draining = asyncio.Event()
         server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port,
+            limit=net_common.MAX_LINE,
         )
         host, port = server.sockets[0].getsockname()[:2]
         # Signals first: the moment the address is announced, a wrapper
         # may send SIGTERM, which must already mean "drain", not "die".
         self._install_signals(asyncio.get_running_loop())
         # The discovery line wrappers parse (bind port 0, read this):
-        print(f"service.listening host={host} port={port}", flush=True)
+        net_common.announce("service", host, port)
         self.events.emit(
             "service.start", transport="tcp", host=host, port=port
         )

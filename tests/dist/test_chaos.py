@@ -227,3 +227,55 @@ class TestRebuildBackoff:
                 executor, _ = runner._rebuild(executor, {}, now=0.0)
         executor.shutdown(wait=False)
         assert runner.stats.pool_rebuilds == 3
+
+
+class TestFarmChaosPlan:
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_and_well_formed(self, seed, n):
+        workers = [f"w{i}" for i in range(n)]
+        a = FaultPlan.farm_chaos_plan(seed, workers)
+        b = FaultPlan.farm_chaos_plan(seed, workers)
+        assert a == b
+        # Every fault the schedule promises is actually scheduled.
+        assert len(a.net_kill_after) == 1
+        assert len(a.net_sever_after) == 1
+        assert len(a.net_drop_complete) == 1
+        assert len(a.net_duplicate_complete) == 1
+        # The drop/duplicate chain: ordinal 0 vanishes, so the resend
+        # is ordinal 1 -- the duplicated frame, on the same worker.
+        (flaky, drops), = a.net_drop_complete.items()
+        assert drops == {0}
+        assert a.net_duplicate_complete == {flaky: {1}}
+        # All targets come from the farm.
+        targets = (
+            set(a.net_kill_after) | set(a.net_sever_after)
+            | set(a.net_drop_complete)
+        )
+        assert targets <= set(workers)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_big_farms_spread_the_faults_over_live_workers(self, seed):
+        workers = [f"w{i}" for i in range(3)]
+        plan = FaultPlan.farm_chaos_plan(seed, workers)
+        (victim,), = [list(plan.net_kill_after)]
+        (flaky,), = [list(plan.net_drop_complete)]
+        # The killed worker never carries the drop/duplicate or sever
+        # faults: its recovery path (reaper reclaim) must be exercised
+        # on a stranded lease, the others on live reconnecting workers.
+        assert victim != flaky
+        assert victim not in plan.net_sever_after
+
+    def test_faults_can_be_toggled_off(self):
+        plan = FaultPlan.farm_chaos_plan(
+            7, ["w0", "w1"], sever=False, kill=False
+        )
+        assert not plan.net_sever_after and not plan.net_kill_after
+        # With drops off, the duplicate falls back to ordinal 0.
+        solo = FaultPlan.farm_chaos_plan(7, ["w0"], drop=False, kill=False)
+        (dupes,) = solo.net_duplicate_complete.values()
+        assert dupes == {0}

@@ -1,0 +1,294 @@
+"""The transport layer under the work protocol.
+
+All three implementations answer to one contract -- ``send`` raises
+:class:`ConnectionLost` when the peer is gone, ``recv`` returns the
+parsed frame, ``None`` on clean close *or* a frame truncated by
+disconnection, and :class:`FrameError` on violations -- so the
+coordinator and workers never know which wire they are on.  The
+fault wrapper's injections (sever, drop, duplicate, delay) are
+scripted by a :class:`FaultPlan` and keyed on per-worker state that
+survives reconnects, which is what makes the chaos gauntlet
+deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.dist.faults import FaultPlan
+from repro.dist.transport import (
+    ConnectionLost,
+    FaultyTransport,
+    LoopbackTransport,
+    TcpTransport,
+)
+from repro.net_common import MAX_LINE, FrameError
+
+
+async def echo_handler(conn):
+    """Echoes every frame back with an ``echo`` marker."""
+    while True:
+        frame = await conn.recv()
+        if frame is None:
+            break
+        await conn.send({"echo": frame})
+    await conn.close()
+
+
+class TestTcpTransport:
+    def test_round_trip_and_clean_close(self):
+        async def scenario():
+            transport = TcpTransport(quiet=True)
+            address = await transport.listen(echo_handler)
+            conn = await transport.connect(address, label="w0")
+            await conn.send({"op": "hello", "n": 1})
+            reply = await conn.recv()
+            await conn.close()
+            await transport.close()
+            return address, reply
+
+        address, reply = asyncio.run(scenario())
+        host, _, port = address.rpartition(":")
+        assert host == "127.0.0.1" and int(port) > 0
+        assert reply == {"echo": {"op": "hello", "n": 1}}
+
+    def test_connect_to_nobody_raises_connection_lost(self):
+        async def scenario():
+            transport = TcpTransport(quiet=True)
+            address = await transport.listen(echo_handler)
+            await transport.close()
+            with pytest.raises(ConnectionLost):
+                await transport.connect(address)
+
+        asyncio.run(scenario())
+
+    def test_malformed_address_is_a_value_error(self):
+        async def scenario():
+            with pytest.raises(ValueError, match="host:port"):
+                await TcpTransport(quiet=True).connect("not-an-address")
+
+        asyncio.run(scenario())
+
+    def test_server_sees_peer_disconnect_as_none(self):
+        got = []
+
+        async def handler(conn):
+            got.append(await conn.recv())
+            got.append(await conn.recv())
+
+        async def scenario():
+            transport = TcpTransport(quiet=True)
+            address = await transport.listen(handler)
+            conn = await transport.connect(address)
+            await conn.send({"x": 1})
+            await conn.close()
+            for _ in range(100):
+                if len(got) == 2:
+                    break
+                await asyncio.sleep(0.01)
+            await transport.close()
+
+        asyncio.run(scenario())
+        assert got == [{"x": 1}, None]
+
+
+class TestLoopbackTransport:
+    def test_round_trip(self):
+        async def scenario():
+            transport = LoopbackTransport()
+            await transport.listen(echo_handler)
+            conn = await transport.connect(label="w0")
+            await conn.send({"seq": 1})
+            reply = await conn.recv()
+            await conn.close()
+            await transport.close()
+            return reply
+
+        assert asyncio.run(scenario()) == {"echo": {"seq": 1}}
+
+    def test_connect_without_listener_raises(self):
+        async def scenario():
+            with pytest.raises(ConnectionLost):
+                await LoopbackTransport().connect()
+
+        asyncio.run(scenario())
+
+    def test_send_after_close_raises_connection_lost(self):
+        async def scenario():
+            transport = LoopbackTransport()
+            await transport.listen(echo_handler)
+            conn = await transport.connect()
+            await conn.close()
+            with pytest.raises(ConnectionLost):
+                await conn.send({"late": True})
+            await transport.close()
+
+        asyncio.run(scenario())
+
+    def test_garbage_bytes_surface_as_frame_error(self):
+        errors = []
+
+        async def handler(conn):
+            try:
+                await conn.recv()
+            except FrameError as exc:
+                errors.append(exc)
+            await conn.close()
+
+        async def scenario():
+            transport = LoopbackTransport()
+            await transport.listen(handler)
+            conn = await transport.connect()
+            conn.send_raw(b"{not json at all\n")
+            await asyncio.sleep(0.01)
+            await transport.close()
+
+        asyncio.run(scenario())
+        assert [e.code for e in errors] == ["bad-json"]
+        assert errors[0].recoverable
+
+    def test_truncated_frame_reads_as_close(self):
+        got = []
+
+        async def handler(conn):
+            got.append(await conn.recv())
+
+        async def scenario():
+            transport = LoopbackTransport()
+            await transport.listen(handler)
+            conn = await transport.connect()
+            conn.send_raw(b'{"op": "hel')  # no newline: died mid-write
+            await asyncio.sleep(0.01)
+            await transport.close()
+
+        asyncio.run(scenario())
+        assert got == [None]
+
+    def test_oversized_frame_is_unrecoverable(self):
+        errors = []
+
+        async def handler(conn):
+            try:
+                await conn.recv()
+            except FrameError as exc:
+                errors.append(exc)
+            await conn.close()
+
+        async def scenario():
+            transport = LoopbackTransport()
+            await transport.listen(handler)
+            conn = await transport.connect()
+            conn.send_raw(b"x" * (MAX_LINE + 1) + b"\n")
+            await asyncio.sleep(0.01)
+            await transport.close()
+
+        asyncio.run(scenario())
+        assert [e.code for e in errors] == ["oversized-frame"]
+        assert not errors[0].recoverable
+
+
+def complete(n):
+    return {"op": "complete", "chunk": n}
+
+
+class TestFaultyTransport:
+    def run_with_echo(self, plan, script):
+        """Run ``script(transport)`` against an echo server behind a
+        fault wrapper."""
+
+        async def scenario():
+            transport = FaultyTransport(LoopbackTransport(), plan)
+            await transport.listen(echo_handler)
+            try:
+                return await script(transport)
+            finally:
+                await transport.close()
+
+        return asyncio.run(scenario())
+
+    def test_sever_cuts_first_connection_only(self):
+        plan = FaultPlan(net_sever_after={"w0": 1})
+
+        async def script(transport):
+            conn = await transport.connect(label="w0")
+            await conn.send({"n": 0})  # frame 0: fine
+            with pytest.raises(ConnectionLost, match="sever"):
+                await conn.send({"n": 1})  # frame 1: severed
+            retry = await transport.connect(label="w0")
+            await retry.send({"n": 2})  # reconnects are left alone
+            return await retry.recv()
+
+        assert self.run_with_echo(plan, script) == {"echo": {"n": 2}}
+
+    def test_unlabelled_connections_are_untouched(self):
+        plan = FaultPlan(net_sever_after={"w0": 0})
+
+        async def script(transport):
+            conn = await transport.connect(label="w1")
+            for n in range(4):
+                await conn.send({"n": n})
+            return await conn.recv()
+
+        assert self.run_with_echo(plan, script) == {"echo": {"n": 0}}
+
+    def test_dropped_complete_never_arrives(self):
+        plan = FaultPlan(net_drop_complete={"w0": {0}})
+
+        async def script(transport):
+            conn = await transport.connect(label="w0")
+            await conn.send(complete(7))  # ordinal 0: dropped
+            await conn.send(complete(8))  # ordinal 1: delivered
+            return await conn.recv()
+
+        assert self.run_with_echo(plan, script) == {"echo": complete(8)}
+
+    def test_duplicated_complete_arrives_twice(self):
+        plan = FaultPlan(net_duplicate_complete={"w0": {0}})
+
+        async def script(transport):
+            conn = await transport.connect(label="w0")
+            await conn.send(complete(7))
+            return [await conn.recv(), await conn.recv()]
+
+        assert self.run_with_echo(plan, script) == [
+            {"echo": complete(7)},
+            {"echo": complete(7)},
+        ]
+
+    def test_complete_ordinals_persist_across_reconnects(self):
+        # Ordinal 1 is the *second* complete this worker ever sends,
+        # even when a reconnect happens in between -- exactly how the
+        # chaos plan chains "drop the first" into "duplicate the
+        # resend".
+        plan = FaultPlan(net_duplicate_complete={"w0": {1}})
+
+        async def script(transport):
+            first = await transport.connect(label="w0")
+            await first.send(complete(1))  # ordinal 0
+            got = [await first.recv()]
+            await first.close()
+            second = await transport.connect(label="w0")
+            await second.send(complete(2))  # ordinal 1: duplicated
+            got.append(await second.recv())
+            got.append(await second.recv())
+            return got
+
+        assert self.run_with_echo(plan, script) == [
+            {"echo": complete(1)},
+            {"echo": complete(2)},
+            {"echo": complete(2)},
+        ]
+
+    def test_non_complete_frames_are_never_dropped(self):
+        plan = FaultPlan(net_drop_complete={"w0": {0}})
+
+        async def script(transport):
+            conn = await transport.connect(label="w0")
+            await conn.send({"op": "lease"})
+            return await conn.recv()
+
+        assert self.run_with_echo(plan, script) == {
+            "echo": {"op": "lease"}
+        }

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dist.queue import TaskQueue
+from repro.dist.queue import LeaseLost, TaskQueue
 from repro.dist.tasks import SearchTask, TaskStatus, partition_space
 
 
@@ -70,11 +70,64 @@ class TestLeasing:
         assert q.renew(t.chunk_id, "w1", 4.0)
         assert q.lease("w2", 6.0) is None  # renewed through 9.0
 
-    def test_renew_after_reassignment_fails(self):
+    def test_renew_after_reassignment_raises(self):
         q = TaskQueue(partition_space(6, 32), lease_duration=5.0)
         t = q.lease("w1", 0.0)
         q.lease("w2", 10.0)  # reassigned
-        assert not q.renew(t.chunk_id, "w1", 11.0)
+        with pytest.raises(LeaseLost, match="re-leased to w2"):
+            q.renew(t.chunk_id, "w1", 11.0)
+
+    def test_renew_after_silent_expiry_raises(self):
+        # The old bug: an expired-but-not-yet-reclaimed lease could be
+        # silently resurrected by its own heartbeat.  A renew arriving
+        # after expiry must reclaim first and report the loss.
+        q = TaskQueue(partition_space(6, 32), lease_duration=5.0)
+        t = q.lease("w1", 0.0)
+        with pytest.raises(LeaseLost, match="expired and was reclaimed"):
+            q.renew(t.chunk_id, "w1", 6.0)
+        assert t.status is TaskStatus.PENDING  # reclaimed, leasable again
+
+    def test_renew_same_owner_new_epoch_raises(self):
+        # Same worker id re-leases the chunk after expiry (parent-held
+        # leases, a reconnecting host): a heartbeat against the *old*
+        # grant must not extend the new one.
+        q = TaskQueue(partition_space(6, 32), lease_duration=5.0)
+        t = q.lease("w1", 0.0)
+        old_epoch = t.epoch
+        t2 = q.lease("w1", 6.0)  # reclaim + re-lease to the same id
+        assert t2.chunk_id == t.chunk_id and t2.epoch == old_epoch + 1
+        with pytest.raises(LeaseLost, match="stale lease epoch"):
+            q.renew(t.chunk_id, "w1", 7.0, epoch=old_epoch)
+        assert q.renew(t.chunk_id, "w1", 7.0, epoch=t2.epoch)
+
+    def test_renew_after_completion_raises(self):
+        q = TaskQueue(partition_space(6, 32), lease_duration=5.0)
+        t = q.lease("w1", 0.0)
+        t2 = q.lease("w2", 6.0)
+        assert t2.chunk_id == t.chunk_id
+        q.complete(t.chunk_id, "w2", 7.0)
+        with pytest.raises(LeaseLost, match="already completed"):
+            q.renew(t.chunk_id, "w1", 7.5)
+
+    def test_renew_after_quarantine_raises(self):
+        q = TaskQueue(
+            partition_space(6, 32), lease_duration=5.0, max_attempts=1
+        )
+        t = q.lease("w1", 0.0)
+        q.reclaim(6.0)  # budget of 1 spent -> quarantined
+        assert t.status is TaskStatus.QUARANTINED
+        with pytest.raises(LeaseLost, match="quarantined"):
+            q.renew(t.chunk_id, "w1", 7.0)
+
+    def test_eager_reclaim_sweep(self):
+        q = TaskQueue(partition_space(6, 8), lease_duration=5.0)
+        q.lease("w1", 0.0)
+        q.lease("w1", 0.0)
+        expired = []
+        q.on_expire = lambda task, now: expired.append(task.chunk_id)
+        q.reclaim(6.0)
+        assert sorted(expired) == [0, 1]
+        assert q.pending == len(q) and q.leased == 0
 
     def test_duplicate_chunk_ids_rejected(self):
         tasks = [SearchTask(0, 0, 1), SearchTask(0, 1, 2)]
@@ -226,7 +279,8 @@ class TestExactlyOnceAccounting:
         # w1's lease silently expires; w2 re-leases the chunk.
         t2 = q.lease("w2", 6.0)
         assert t2.chunk_id == t.chunk_id
-        assert not q.renew(t.chunk_id, "w1", 6.5)   # w1 must abandon
+        with pytest.raises(LeaseLost):
+            q.renew(t.chunk_id, "w1", 6.5)          # w1 must abandon
         # Both deliver anyway (w1 never got the memo): merged once.
         assert q.complete(t.chunk_id, "w2", 7.0) and deliver(campaign, t2)
         assert not q.complete(t.chunk_id, "w1", 7.5)

@@ -211,3 +211,63 @@ class TestRunDash:
         log = tmp_path / "run.jsonl"
         campaign_log(log)
         assert check_log_path(str(log)) is None
+
+
+class TestHostsRow:
+    def farm_log(self, path, *, benched=True):
+        tail = (
+            jline("worker.benched", t=4.1, worker="wB", faults=1)
+            if benched
+            else b""
+        )
+        path.write_bytes(
+            jline("log.open", t=0.0, pid=9)
+            + jline(
+                "campaign.start", t=0.1, width=8, target_hd=4,
+                final_length=100, chunk_size=8, chunks=4,
+            )
+            + jline("worker.hello", t=0.2, worker="wA", host="alpha",
+                    reconnect=False)
+            + jline("worker.hello", t=0.3, worker="wB", host="beta",
+                    reconnect=False)
+            + jline("lease.grant", t=0.4, chunk=0, worker="wA")
+            + jline("chunk.done", t=1.0, chunk=0, examined=8, survivors=0,
+                    seconds=0.5, stage_kills={"16": 8}, worker="wA")
+            + jline("lease.grant", t=1.1, chunk=1, worker="wB")
+            # wB goes dark: the expiry is evidence of death, not life,
+            # so its liveness frontier must stay at the lease grant.
+            + jline("lease.expire", t=4.0, chunk=1, owner="wB", attempt=1,
+                    worker="wB")
+            + tail
+        )
+
+    def test_hosts_row_tracks_liveness_per_worker(self, tmp_path):
+        log = tmp_path / "farm.jsonl"
+        self.farm_log(log)
+        dash = Dashboard(log)
+        dash.refresh()
+        frame = dash.render()
+        assert "hosts:" in frame
+        # Frontier is t=4.1 (the bench): wA last spoke at 1.0 (3.1s
+        # ago), wB at its 1.1 lease grant (3.0s ago) -- NOT at the 4.0
+        # expiry, which the server emitted about it, not from it.
+        assert "wA 1ch (last chunk.done 3.1s ago)" in frame
+        assert "wB 0ch (last worker.benched 0.0s ago) [benched]" in frame
+
+    def test_expiry_does_not_advance_liveness(self, tmp_path):
+        log = tmp_path / "farm.jsonl"
+        self.farm_log(log, benched=False)
+        dash = Dashboard(log)
+        dash.refresh()
+        # The t=4.0 expiry carried worker="wB" but is the server's
+        # verdict on a silent worker; wB's frontier stays at its own
+        # last frame, the t=1.1 lease request.
+        assert dash.worker_last["wB"] == (1.1, "lease.grant")
+        assert dash.worker_last["wA"] == (1.0, "chunk.done")
+
+    def test_pool_logs_have_no_hosts_row(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        campaign_log(log)
+        dash = Dashboard(log)
+        dash.refresh()
+        assert "hosts:" not in dash.render()

@@ -330,3 +330,84 @@ class TestSurvivalEvents:
         assert bench["interruptions"] == 1
         assert bench["checkpoint_corruptions"] == 1
         assert bench["retry_backoffs"] == 1
+
+
+def farm_stream():
+    """A synthetic farm-coordinator log: two worker hosts, one
+    reconnect, one expiry-then-bench, worker-tagged completions."""
+    base = {"v": 1, "t": 0.0}
+    recs = [
+        {**base, "seq": 0, "event": "log.open", "wall": 1e9, "pid": 1},
+        {**base, "seq": 1, "event": "campaign.start", "backend": "net",
+         "width": 8, "target_hd": 4, "final_length": 100, "chunk_size": 8,
+         "chunks": 4},
+        {**base, "seq": 2, "t": 0.1, "event": "worker.hello", "worker": "wA",
+         "host": "alpha", "reconnect": False},
+        {**base, "seq": 3, "t": 0.1, "event": "worker.hello", "worker": "wB",
+         "host": "beta", "reconnect": False},
+        {**base, "seq": 4, "t": 0.2, "event": "lease.grant", "chunk": 0,
+         "attempt": 1, "worker": "wA"},
+        {**base, "seq": 5, "t": 1.0, "event": "chunk.done", "chunk": 0,
+         "attempt": 1, "examined": 8, "survivors": 1, "seconds": 0.5,
+         "stage_kills": {"16": 7}, "duplicate": False, "worker": "wA"},
+        # wB strands a lease, reconnects, then redelivers a duplicate.
+        {**base, "seq": 6, "t": 1.1, "event": "lease.grant", "chunk": 1,
+         "attempt": 1, "worker": "wB"},
+        {**base, "seq": 7, "t": 1.8, "event": "lease.expire", "chunk": 1,
+         "owner": "wB", "attempt": 1},
+        {**base, "seq": 8, "t": 1.9, "event": "worker.hello", "worker": "wB",
+         "host": "beta", "reconnect": True},
+        {**base, "seq": 9, "t": 2.0, "event": "worker.lease_lost",
+         "worker": "wB", "chunk": 1, "reason": "lease expired"},
+        {**base, "seq": 10, "t": 2.1, "event": "lease.grant", "chunk": 1,
+         "attempt": 2, "worker": "wA"},
+        {**base, "seq": 11, "t": 2.9, "event": "chunk.done", "chunk": 1,
+         "attempt": 2, "examined": 8, "survivors": 0, "seconds": 0.7,
+         "stage_kills": {"16": 8}, "duplicate": False, "worker": "wA"},
+        {**base, "seq": 12, "t": 3.0, "event": "chunk.done", "chunk": 1,
+         "attempt": 1, "examined": 8, "survivors": 0, "seconds": 0.7,
+         "stage_kills": {"16": 8}, "duplicate": True, "worker": "wB"},
+        {**base, "seq": 13, "t": 3.1, "event": "worker.benched",
+         "worker": "wB", "faults": 1},
+        {**base, "seq": 14, "t": 4.0, "event": "campaign.end", "chunks": 4,
+         "elapsed": 4.0},
+    ]
+    return recs
+
+
+class TestWorkerAccounting:
+    def test_farm_events_fold_into_per_host_books(self):
+        report = RunReport.from_events(farm_stream())
+        assert set(report.workers) == {"wA", "wB"}
+        wa, wb = report.workers["wA"], report.workers["wB"]
+        # wA did all the merged work, including the retry of chunk 1.
+        assert wa == {
+            "host": "alpha", "chunks": 2, "examined": 16,
+            "seconds": pytest.approx(1.2), "connections": 1,
+            "reconnects": 0, "lease_losses": 0, "expiries": 0,
+            "benched": False,
+        }
+        # wB's duplicate never counts as a chunk; its expiry, lost
+        # lease, reconnect and benching all land on its book.
+        assert wb["chunks"] == 0 and wb["examined"] == 0
+        assert wb["connections"] == 2 and wb["reconnects"] == 1
+        assert wb["expiries"] == 1 and wb["lease_losses"] == 1
+        assert wb["benched"] is True
+        assert wb["host"] == "beta"
+
+    def test_pool_campaign_has_no_worker_books(self):
+        report = RunReport.from_events(synthetic_stream())
+        assert report.workers == {}
+        assert "workers:" not in report.render()
+
+    def test_render_and_bench_dict_surface_the_books(self):
+        report = RunReport.from_events(farm_stream())
+        rendered = report.render()
+        assert "workers: 2 host(s)" in rendered
+        assert "benched" in rendered
+        bench = report.to_bench_dict()
+        workers = bench["metrics"]["workers"]
+        assert workers["wA"]["chunks"] == 2
+        assert workers["wA"]["seconds"] == pytest.approx(1.2)
+        assert workers["wB"]["benched"] is True
+        json.dumps(bench)  # still plain JSON

@@ -209,3 +209,45 @@ class TestCommands:
     def test_parser_help_builds(self):
         parser = build_parser()
         assert parser.prog == "repro"
+
+
+class TestFarmCli:
+    """Exit-code and usage contracts for ``serve`` / ``work``.  The
+    full farm behaviour is covered end-to-end over the loopback
+    transport in ``tests/dist/test_net_server.py``; here we pin only
+    what argparse and the error paths owe the operator."""
+
+    def test_work_malformed_address_is_usage_error(self, capsys):
+        assert main(["work", "not-an-address"]) == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_work_unreachable_coordinator_exits_1(self, capsys):
+        # Port 1 on localhost: connection refused, fast.
+        rc = main([
+            "work", "127.0.0.1:1", "--id", "w0",
+            "--reconnect-base", "0.01", "--max-connect-attempts", "2",
+        ])
+        assert rc == 1
+        assert "giving up after 2 failed connection" in capsys.readouterr().err
+
+    def test_serve_resume_requires_checkpoint(self, capsys):
+        assert main(["serve", "--width", "8", "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_serve_resume_missing_checkpoint_exits_2(self, tmp_path, capsys):
+        rc = main([
+            "serve", "--width", "8", "--target-hd", "4",
+            "--checkpoint", str(tmp_path / "nope.ckpt"), "--resume",
+        ])
+        assert rc == 2
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--width", "8"])
+        assert args.host == "127.0.0.1" and args.port == 0
+        assert args.lease == 30.0 and args.checkpoint_every == 8
+        assert args.worker_fault_budget == 0
+
+    def test_work_defaults(self):
+        args = build_parser().parse_args(["work", "localhost:7337"])
+        assert args.address == "localhost:7337"
+        assert args.id is None and args.max_connect_attempts == 8

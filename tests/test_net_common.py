@@ -1,0 +1,135 @@
+"""Shared NDJSON wire plumbing (:mod:`repro.net_common`).
+
+Both network front ends (the CRC service and the work coordinator)
+sit on these primitives, so their contracts are pinned here once:
+framing round-trips, the coded failure modes (``bad-json``
+recoverable, ``oversized-frame`` not), and EOF semantics -- a clean
+close and a mid-frame death both read as ``None``, never an
+exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net_common import (
+    MAX_LINE,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    next_line,
+    read_frame,
+)
+
+
+def read_from(data: bytes, *, n: int = 1, limit: int = MAX_LINE):
+    """Feed ``data`` (+ EOF) to a fresh reader and take ``n`` frames."""
+
+    async def scenario():
+        reader = asyncio.StreamReader(limit=limit)
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames = [await read_frame(reader) for _ in range(n)]
+        return frames[0] if n == 1 else frames
+
+    return asyncio.run(scenario())
+
+
+class TestCodec:
+    def test_round_trip(self):
+        frame = encode_frame({"op": "lease", "seq": 3})
+        assert frame.endswith(b"\n")
+        assert decode_frame(frame) == {"op": "lease", "seq": 3}
+
+    def test_compact_encoding(self):
+        assert encode_frame({"a": [1, 2]}) == b'{"a":[1,2]}\n'
+
+    def test_bad_json_is_recoverable(self):
+        with pytest.raises(FrameError) as exc:
+            decode_frame(b"{nope}\n")
+        assert exc.value.code == "bad-json"
+        assert exc.value.recoverable
+
+    def test_non_utf8_bytes_decode_with_replacement(self):
+        # Garbage bytes become a bad-json FrameError, not UnicodeError.
+        with pytest.raises(FrameError) as exc:
+            decode_frame(b"\xff\xfe\xfd\n")
+        assert exc.value.code == "bad-json"
+
+    def test_accepts_str_input(self):
+        assert decode_frame('{"x": 1}') == {"x": 1}
+
+    @given(
+        st.recursive(
+            st.none()
+            | st.booleans()
+            | st.integers(min_value=-(2**40), max_value=2**40)
+            | st.text(max_size=40),
+            lambda children: st.lists(children, max_size=4)
+            | st.dictionaries(st.text(max_size=8), children, max_size=4),
+            max_leaves=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_json_value_round_trips(self, value):
+        assert decode_frame(encode_frame(value)) == value
+
+
+class TestReadFrame:
+    def test_reads_lines_in_order(self):
+        frames = read_from(b'{"op":"hello"}\n{"op":"bye"}\n', n=2)
+        assert frames == [b'{"op":"hello"}\n', b'{"op":"bye"}\n']
+
+    def test_clean_eof_is_none(self):
+        assert read_from(b"") is None
+
+    def test_mid_frame_eof_is_none(self):
+        # The peer died while writing: nobody is left to answer, so a
+        # truncated final line is a close, not a parse error.
+        assert read_from(b'{"op":"hel') is None
+
+    def test_oversized_line_is_unrecoverable(self):
+        with pytest.raises(FrameError) as exc:
+            read_from(b"x" * 64 + b"\n", limit=16)
+        assert exc.value.code == "oversized-frame"
+        assert not exc.value.recoverable
+
+
+class TestNextLine:
+    def test_without_drain_event_reads_normally(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b'{"a":1}\n')
+            return await next_line(reader)
+
+        assert asyncio.run(scenario()) == b'{"a":1}\n'
+
+    def test_drain_lets_in_flight_data_land(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b'{"a":1}\n')
+            draining = asyncio.Event()
+            draining.set()
+            return await next_line(reader, draining, linger=0.2)
+
+        assert asyncio.run(scenario()) == b'{"a":1}\n'
+
+    def test_drain_gives_up_after_linger(self):
+        async def scenario():
+            reader = asyncio.StreamReader()  # nothing will ever arrive
+            draining = asyncio.Event()
+            draining.set()
+            return await next_line(reader, draining, linger=0.05)
+
+        assert asyncio.run(scenario()) is None
+
+
+def test_announce_prints_discovery_line(capsys):
+    from repro.net_common import announce
+
+    announce("work", "127.0.0.1", 7337)
+    assert capsys.readouterr().out == "work.listening host=127.0.0.1 port=7337\n"

@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Farm chaos gauntlet: a multi-worker network campaign under fire.
+
+The same 3-worker loopback farm as ``tools/farm_smoke.py``, but the
+wire runs through :class:`~repro.dist.transport.FaultyTransport`
+scripted by :meth:`~repro.dist.faults.FaultPlan.farm_chaos_plan`, and
+the coordinator itself is SIGTERM-drained mid-campaign and restarted
+from its checkpoint.  One seeded run exercises every recovery path
+the coordinator owes its operators:
+
+* a **severed connection** mid-protocol -- the worker reconnects with
+  backoff and carries on;
+* a **dropped completion** -- the ack never comes, the worker times
+  out, reconnects, and resends the pended result;
+* a **duplicated completion** (the resend, by construction) -- the
+  coordinator merges once and counts the echo;
+* a **killed worker holding a fresh lease** -- nobody ever completes
+  it; the server-side reaper must expire the lease and hand the chunk
+  to a surviving worker;
+* a **coordinator drain + restart** -- session 1 checkpoints and
+  drains on SIGTERM, session 2 resumes the checkpoint with a fresh
+  crew and finishes.
+
+The verdict is the repo's governing invariant: after all of that, the
+final :class:`~repro.search.records.CampaignRecord` is bit-identical
+to a fault-free run's, and the event log proves each fault actually
+fired (a chaos harness that quietly stops injecting is worse than
+none).  Exit status 0 iff every assertion holds.  Deterministic in
+``--seed``: the fault schedule is a pure function of it
+(``tests/dist/test_chaos.py::TestFarmChaosPlan`` pins that down);
+``make farm-chaos`` runs this script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.dist.faults import FaultPlan  # noqa: E402
+from repro.dist.net import WorkClient, WorkServer, WorkerKilled  # noqa: E402
+from repro.dist.tasks import partition_space  # noqa: E402
+from repro.dist.transport import FaultyTransport, LoopbackTransport  # noqa: E402
+from repro.obs.events import EventLog, read_events  # noqa: E402
+from repro.obs.report import RunReport  # noqa: E402
+from repro.search.exhaustive import SearchConfig, search_chunk  # noqa: E402
+from repro.search.records import CampaignRecord  # noqa: E402
+
+#: Smaller chunks than the smoke (16 of them instead of 8) so session
+#: 1 still has real work left when the drain lands.
+CFG = SearchConfig(
+    width=8, target_hd=4, filter_lengths=(16, 40, 100), confirm_weights=False
+)
+CHUNK_SIZE = 8
+WORKERS = ["w0", "w1", "w2"]
+MAX_SECONDS = 120.0
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def reference_record() -> CampaignRecord:
+    ref = CampaignRecord(
+        width=CFG.width,
+        data_word_bits=CFG.final_length,
+        target_hd=CFG.target_hd,
+    )
+    for task in partition_space(CFG.width, CHUNK_SIZE):
+        res = search_chunk(CFG, task.start_index, task.end_index)
+        ref.merge_chunk(task.chunk_id, res.records, res.examined)
+    return ref
+
+
+def make_server(transport, **kwargs) -> WorkServer:
+    kwargs.setdefault("lease_duration", 1.0)
+    kwargs.setdefault("handle_signals", False)
+    kwargs.setdefault("max_seconds", MAX_SECONDS)
+    kwargs.setdefault("checkpoint_every", 2)
+    return WorkServer(CFG, CHUNK_SIZE, transport, **kwargs)
+
+
+def make_client(transport, worker_id, plan=None) -> WorkClient:
+    return WorkClient(
+        "loopback:0",
+        transport,
+        worker_id,
+        host=f"{worker_id}.farm",
+        ack_timeout=0.8,
+        reconnect_base=0.02,
+        reconnect_cap=0.2,
+        max_connect_attempts=30,
+        faults=plan,
+    )
+
+
+async def run_session(server, clients):
+    async def run_client(client):
+        try:
+            return await client.run()
+        except WorkerKilled:
+            return "killed"
+
+    return await asyncio.gather(
+        server.serve(), *[run_client(c) for c in clients]
+    )
+
+
+def chaos_farm(seed: int, workdir: str, say) -> None:
+    ref_json = reference_record().to_json()
+    chunks = len(list(partition_space(CFG.width, CHUNK_SIZE)))
+    ckpt = os.path.join(workdir, "farm.ckpt")
+    events_path = os.path.join(workdir, "farm.jsonl")
+
+    plan = FaultPlan.farm_chaos_plan(seed, WORKERS)
+    # SIGTERM the coordinator once most -- but not all -- of the
+    # campaign is done, so the restart has real work left.
+    plan.kill_signal_after = chunks - 3
+    say(f"plan: sever {plan.net_sever_after}, drop "
+        f"{plan.net_drop_complete}, duplicate "
+        f"{plan.net_duplicate_complete}, kill {plan.net_kill_after}, "
+        f"coordinator SIGTERM after {plan.kill_signal_after} completions")
+
+    with EventLog(events_path) as events:
+        transport = FaultyTransport(LoopbackTransport(), plan)
+        session1 = make_server(
+            transport, checkpoint_path=ckpt, faults=plan, events=events,
+            worker_fault_budget=3,
+        )
+        clients1 = [make_client(transport, w, plan) for w in WORKERS]
+        rcs = asyncio.run(run_session(session1, clients1))
+        check(
+            session1.interrupted == "SIGTERM",
+            f"expected a SIGTERM drain, got {session1.interrupted!r}",
+        )
+        victim = next(iter(plan.net_kill_after))
+        check(
+            rcs[1 + WORKERS.index(victim)] == "killed",
+            f"the kill victim {victim} survived: {rcs}",
+        )
+        done1 = session1.queue.done
+        check(0 < done1 < chunks, f"drained with {done1}/{chunks} done")
+        say(f"session 1: drained with {done1}/{chunks} chunks, "
+            f"{session1.stats.duplicate_deliveries} duplicate(s), "
+            f"{session1.stats.lease_expiries} lease expiry(ies), "
+            f"{session1.stats.checkpoints_written} checkpoint(s)")
+
+        # Every scripted fault must have actually fired in session 1.
+        check(
+            session1.stats.duplicate_deliveries >= 1,
+            "the duplicated completion never reached the coordinator",
+        )
+        check(
+            session1.stats.lease_expiries >= 1,
+            "the killed worker's lease was never reclaimed",
+        )
+        resent = {c.worker_id: c.stats.resent_completes for c in clients1}
+        check(
+            any(n >= 1 for n in resent.values()),
+            f"no worker resent a dropped completion: {resent}",
+        )
+        reconnects = {c.worker_id: c.stats.reconnects for c in clients1}
+        check(
+            any(n >= 1 for n in reconnects.values()),
+            f"no worker reconnected: {reconnects}",
+        )
+
+        # Coordinator restart: a clean wire, a fresh crew, the same
+        # checkpoint.  The one-time faults already fired.
+        transport2 = LoopbackTransport()
+        session2 = make_server(
+            transport2, checkpoint_path=ckpt, events=events,
+        )
+        skipped = session2.resume()
+        check(skipped == done1, f"resume skipped {skipped}, not {done1}")
+        clients2 = [make_client(transport2, f"x{i}") for i in range(2)]
+        rcs2 = asyncio.run(run_session(session2, clients2))
+        check(rcs2 == [0, 0, 0], f"session 2 exit codes: {rcs2}")
+        check(session2.queue.all_done, "resumed farm did not finish")
+        say(f"session 2: resumed {skipped} chunks from the checkpoint, "
+            f"computed {session2.stats.completions} more")
+
+    check(
+        session2.campaign.to_json() == ref_json,
+        "post-chaos campaign record differs from the fault-free reference",
+    )
+    say("post-chaos record is bit-identical to the reference")
+
+    # The event log tells the whole story, including who did what.
+    names = [rec["event"] for rec in read_events(events_path)]
+    # (worker.lease_lost is absent by design: the lease that expired
+    # belonged to the killed worker, and the dead never renew.)
+    for wanted in (
+        "worker.hello", "lease.expire",
+        "shutdown.drain", "campaign.interrupted", "checkpoint.write",
+        "campaign.resume", "campaign.end",
+    ):
+        check(wanted in names, f"{wanted} missing from the event log")
+    report = RunReport.from_events(read_events(events_path))
+    check(
+        set(report.workers) >= set(WORKERS),
+        f"per-worker books incomplete: {sorted(report.workers)}",
+    )
+    merged = sum(w["chunks"] for w in report.workers.values())
+    check(
+        merged == chunks,
+        f"worker books account for {merged}/{chunks} chunks",
+    )
+    say(f"event log: {len(names)} records, "
+        f"{len(report.workers)} worker books balance")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2002)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    say = (lambda m: None) if args.quiet else (lambda m: print(f"  {m}"))
+    t0 = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix="chaos-farm-") as workdir:
+        print(f"farm chaos gauntlet (seed {args.seed})")
+        chaos_farm(args.seed, workdir, say)
+    print(f"PASS in {time.monotonic() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
